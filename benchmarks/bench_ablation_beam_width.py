@@ -1,0 +1,75 @@
+"""Experiment E7 — ablation: search effort vs assignment quality.
+
+Section 3.3.2 of the paper notes that "the tradeoff between runtime and the
+quality of the resulting solution can be controlled by restricting the number
+of partitions considered for each column".  This ablation sweeps the two
+effort knobs of the reproduction — the number of candidate partitions per
+column (``k``) and the refinement passes — and reports the resulting product
+terms and wall-clock time, so the monotone cost/quality trade-off is visible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.bist import BISTStructure, SynthesisOptions, synthesize
+from repro.encoding import assign_misr_states
+from repro.fsm import load_benchmark
+from repro.reporting import format_table
+
+CONFIGURATIONS = [
+    {"label": "k=1, no refinement", "partitions": 1, "beam": 1, "refine": 0},
+    {"label": "k=4, no refinement", "partitions": 4, "beam": 2, "refine": 0},
+    {"label": "k=8, refinement x1", "partitions": 8, "beam": 4, "refine": 1},
+    {"label": "k=8, refinement x3", "partitions": 8, "beam": 4, "refine": 3},
+]
+
+
+def _run_ablation(name: str, data_dir) -> List[Dict[str, object]]:
+    fsm = load_benchmark(name, data_dir=data_dir)
+    rows: List[Dict[str, object]] = []
+    for config in CONFIGURATIONS:
+        start = time.perf_counter()
+        assignment = assign_misr_states(
+            fsm,
+            beam_width=config["beam"],
+            partitions_per_column=config["partitions"],
+            refinement_passes=config["refine"],
+            seed=3,
+        )
+        controller = synthesize(
+            fsm,
+            BISTStructure.PST,
+            encoding=assignment.encoding,
+            register=assignment.lfsr,
+            options=SynthesisOptions(),
+        )
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "configuration": config["label"],
+                "product terms": controller.product_terms,
+                "estimated terms": assignment.estimated_product_terms,
+                "partials explored": assignment.partial_assignments_explored,
+                "refinement moves": assignment.refinement_moves,
+                "seconds": round(elapsed, 2),
+            }
+        )
+    return rows
+
+
+def test_ablation_search_effort(benchmark, bench_data_dir):
+    rows = benchmark.pedantic(_run_ablation, args=("dk16", bench_data_dir), rounds=1, iterations=1)
+    print()
+    print(format_table(list(rows[0].keys()), [list(r.values()) for r in rows],
+                       title="Ablation — assignment effort vs quality (dk16 stand-in)"))
+    benchmark.extra_info["rows"] = rows
+
+    cheapest = rows[0]["product terms"]
+    strongest = rows[-1]["product terms"]
+    # More effort must not hurt: the strongest configuration is at least as
+    # good as the cheapest one.
+    assert strongest <= cheapest
+    # And the search effort actually grows along the sweep.
+    assert rows[-1]["partials explored"] >= rows[0]["partials explored"]

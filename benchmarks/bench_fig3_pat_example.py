@@ -1,0 +1,96 @@
+"""Experiment E5 — Fig. 3: reusing the LFSR cycle for system transitions.
+
+The motivating example of the paper: a three-state FSM whose encoded
+transitions partially coincide with the autonomous cycle of the LFSR with
+feedback polynomial ``1 + x + x^2``.  Those transitions need not be
+implemented in the next-state logic at all.  The harness reproduces the
+figure by (a) checking the LFSR cycle of Fig. 3b, (b) counting how many of
+the FSM transitions ride that cycle under the PAT assignment and (c) showing
+the product-term saving of PAT over DFF on this machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bist import BISTStructure, synthesize
+from repro.encoding import assign_pat
+from repro.fsm import FSM, Transition
+from repro.lfsr import LFSR
+from repro.reporting import format_table
+
+
+def _fig3_fsm() -> FSM:
+    transitions = [
+        Transition("0", "A", "A", "0"),
+        Transition("1", "A", "B", "0"),
+        Transition("0", "B", "C", "1"),
+        Transition("1", "B", "A", "0"),
+        Transition("0", "C", "A", "1"),
+        Transition("1", "C", "B", "1"),
+    ]
+    return FSM("fig3", 1, 1, transitions, reset_state="A")
+
+
+def _run_fig3() -> Dict[str, object]:
+    fsm = _fig3_fsm()
+    lfsr = LFSR(2, 0b111)  # 1 + x + x^2, as in the paper
+    cycle = lfsr.cycle("01")
+
+    pat_assignment = assign_pat(fsm, lfsr=lfsr)
+    pat = synthesize(fsm, BISTStructure.PAT, encoding=pat_assignment.encoding, register=lfsr)
+    # Reference point with the *same* encoding but a plain D-flip-flop register,
+    # so the difference is exactly the don't cares gained from the LFSR cycle.
+    dff_same_encoding = synthesize(fsm, BISTStructure.DFF, encoding=pat_assignment.encoding)
+    dff = synthesize(fsm, BISTStructure.DFF)
+
+    def excitation_terms(controller) -> int:
+        """Product terms that drive at least one next-state (y) output."""
+        q = controller.excitation.num_primary_outputs
+        r = controller.encoding.width
+        y_mask = ((1 << r) - 1) << q
+        return sum(1 for cube in controller.minimization.cover if cube.outputs & y_mask)
+
+    return {
+        "lfsr_cycle": cycle,
+        "covered_transitions": pat_assignment.covered,
+        "total_transitions": pat_assignment.total,
+        "pat_product_terms": pat.product_terms,
+        "pat_excitation_terms": excitation_terms(pat),
+        "dff_same_encoding_terms": dff_same_encoding.product_terms,
+        "dff_same_encoding_excitation_terms": excitation_terms(dff_same_encoding),
+        "dff_product_terms": dff.product_terms,
+        "autonomous_rows": pat.excitation.autonomous_transitions,
+    }
+
+
+def test_fig3_pat_example(benchmark):
+    result = benchmark.pedantic(_run_fig3, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["LFSR cycle (Fig. 3b)", " -> ".join(result["lfsr_cycle"])],
+                ["transitions on the cycle", f"{result['covered_transitions']} of {result['total_transitions']}"],
+                ["PAT product terms", result["pat_product_terms"]],
+                ["PAT terms driving next-state logic", result["pat_excitation_terms"]],
+                ["DFF terms (same encoding)", result["dff_same_encoding_terms"]],
+                ["DFF terms driving next-state logic", result["dff_same_encoding_excitation_terms"]],
+                ["DFF product terms (own encoding)", result["dff_product_terms"]],
+            ],
+            title="Fig. 3 — pattern-generator transitions reused in system mode",
+        )
+    )
+    benchmark.extra_info.update({k: v for k, v in result.items() if k != "lfsr_cycle"})
+
+    # Fig. 3b: the cycle visits the three non-zero codes.
+    assert result["lfsr_cycle"] == ["01", "10", "11"]
+    # At least half of the six transitions ride the autonomous cycle.
+    assert result["covered_transitions"] >= 3
+    assert result["autonomous_rows"] == result["covered_transitions"]
+    # The LFSR cycle removes next-state work: with the same encoding, the PAT
+    # next-state logic needs no more product terms than the DFF next-state
+    # logic, and strictly fewer terms drive the excitation outputs.
+    assert result["pat_excitation_terms"] <= result["dff_same_encoding_excitation_terms"]
+    assert result["pat_product_terms"] <= result["dff_same_encoding_terms"] + 1  # + Mode output

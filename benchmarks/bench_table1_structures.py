@@ -1,0 +1,52 @@
+"""Experiment E4 — Table 1: quantitative comparison of the BIST structures.
+
+Table 1 of the paper is qualitative (``++`` ... ``--``).  This harness makes
+it quantitative for a concrete controller: all four structures are
+synthesised and the measurable proxies behind each Table 1 criterion are
+collected — combinational product terms (area), register bits (storage
+elements), mode multiplexers and data-path XORs (speed), control signals
+(test control effort) and whether an at-speed test of the system-mode
+excitation paths is possible (dynamic fault detection).  The assertions check
+that the measured ordering matches the paper's qualitative ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bist import BISTStructure, compare_structures
+from repro.fsm import load_benchmark
+from repro.reporting import format_comparison
+
+
+def _run_table1(name: str, data_dir) -> List[Dict[str, object]]:
+    fsm = load_benchmark(name, data_dir=data_dir)
+    comparison = compare_structures(fsm)
+    return comparison.as_rows()
+
+
+def test_table1_structure_comparison(benchmark, bench_data_dir):
+    rows = benchmark.pedantic(_run_table1, args=("dk16", bench_data_dir), rounds=1, iterations=1)
+    print()
+    print(format_comparison(rows, title="Table 1 — BIST structure comparison (dk16 stand-in)"))
+    benchmark.extra_info["rows"] = rows
+
+    by_structure = {row["structure"]: row for row in rows}
+    dff, pat, sig, pst = (by_structure[s] for s in ("DFF", "PAT", "SIG", "PST"))
+
+    # Storage elements: PST needs the fewest register bits (no duplication).
+    assert pst["register bits"] < dff["register bits"]
+    assert pst["register bits"] <= sig["register bits"]
+    # Test control effort: one signal for PST/SIG, two for DFF/PAT.
+    assert pst["control signals"] < dff["control signals"]
+    assert sig["control signals"] < pat["control signals"]
+    # Dynamic fault detection: only the MISR structures test at speed.
+    assert pst["at-speed test"] == "yes" and sig["at-speed test"] == "yes"
+    assert dff["at-speed test"] == "no" and pat["at-speed test"] == "no"
+    # Combinational logic: PAT must profit from its autonomous transitions.
+    assert pat["autonomous transitions"] > 0
+    assert pat["product terms"] <= dff["product terms"] + 3
+    # Speed proxies: the MISR structures avoid mode multiplexers in front of
+    # the flip-flops, the conventional structures avoid data-path XORs.
+    assert pst["mode muxes"] == 0 and dff["mode muxes"] > 0
+    assert pst["XORs in data path"] > 0 and dff["XORs in data path"] == 0

@@ -1,0 +1,75 @@
+"""Experiment E6 — test length: parallel self-test vs conventional self-test.
+
+Section 2.5 of the paper (quoting the analysis of EsWu 91) states that the
+PST structure needs roughly 30 % more weighted random patterns than a
+conventional self-test to reach the same test confidence, because the test
+patterns seen by the next-state logic are restricted to the signatures the
+machine actually produces.  This harness measures the effect directly with
+the stuck-at fault simulator: the same controller is synthesised as PST and
+as DFF, both are fault-simulated with random primary-input patterns, and the
+pattern counts needed to reach a common coverage target are compared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bist import BISTStructure, synthesize
+from repro.circuit import (
+    compare_test_lengths,
+    patterns_for_coverage,
+    simulate_conventional_self_test,
+    simulate_parallel_self_test,
+)
+from repro.fsm import generate_controller
+from repro.reporting import format_table
+
+MAX_PATTERNS = 192
+COVERAGE_TARGET = 0.75
+
+
+def _run_test_length() -> Dict[str, object]:
+    fsm = generate_controller(
+        "selftest", num_states=10, num_inputs=4, num_outputs=3, num_transitions=36, seed=23
+    )
+    pst_controller = synthesize(fsm, BISTStructure.PST)
+    dff_controller = synthesize(fsm, BISTStructure.DFF)
+
+    pst = simulate_parallel_self_test(pst_controller, max_patterns=MAX_PATTERNS, seed=5)
+    dff = simulate_conventional_self_test(dff_controller, max_patterns=MAX_PATTERNS, seed=5)
+    summary = compare_test_lengths(pst, dff, target=COVERAGE_TARGET)
+    summary["pst_total_faults"] = pst.total_faults
+    summary["dff_total_faults"] = dff.total_faults
+    summary["pst_curve"] = [c for c in pst.coverage_curve[:: max(1, MAX_PATTERNS // 8)]]
+    summary["dff_curve"] = [c for c in dff.coverage_curve[:: max(1, MAX_PATTERNS // 8)]]
+    return summary
+
+
+def test_parallel_vs_conventional_test_length(benchmark):
+    summary = benchmark.pedantic(_run_test_length, rounds=1, iterations=1)
+    print()
+    rows = [
+        ["coverage target", COVERAGE_TARGET],
+        ["patterns (parallel self-test, PST)", summary["pst_patterns"]],
+        ["patterns (conventional self-test, DFF)", summary["conventional_patterns"]],
+        ["relative test length PST / DFF", summary["ratio"] if summary["ratio"] else "n/a"],
+        ["final coverage PST", round(summary["pst_final_coverage"], 3)],
+        ["final coverage DFF", round(summary["conventional_final_coverage"], 3)],
+    ]
+    print(format_table(["metric", "value"], rows, title="Test length — PST vs conventional self-test"))
+    benchmark.extra_info.update(
+        {k: v for k, v in summary.items() if not isinstance(v, list)}
+    )
+
+    # Both sessions must reach a usable coverage and the target itself.
+    assert summary["pst_final_coverage"] >= 0.6
+    assert summary["conventional_final_coverage"] >= 0.6
+    assert summary["pst_patterns"] is not None, "PST never reached the coverage target"
+    assert summary["conventional_patterns"] is not None, "conventional test never reached the target"
+    # The paper (via EsWu 91) expects the PST test to be somewhat longer
+    # (~1.3x) because the state lines only see signature patterns.  On the
+    # small synthetic controller the observability advantage of the MISR can
+    # outweigh the controllability restriction, so only a loose band is
+    # asserted here; the measured ratio is recorded for EXPERIMENTS.md.
+    ratio = summary["ratio"]
+    assert ratio is not None and 0.2 <= ratio <= 5.0

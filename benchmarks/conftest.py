@@ -1,0 +1,66 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every file in this directory regenerates one table or figure of the paper
+(see the experiment index in ``DESIGN.md``).  By default the harness runs a
+reduced configuration so that ``pytest benchmarks/ --benchmark-only``
+completes in a few minutes; the full paper-scale sweep is enabled with
+environment variables:
+
+* ``REPRO_BENCH_FULL=1``     — all 13 benchmarks and 50 random encodings
+* ``REPRO_BENCH_TRIALS=N``   — override the number of random encodings
+* ``REPRO_BENCH_NAMES=a,b``  — explicit comma-separated benchmark list
+* ``REPRO_BENCH_DATA_DIR=p`` — directory with the original MCNC ``.kiss2``
+  files (used instead of the synthetic stand-ins when present)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import pytest
+
+from repro.fsm import benchmark_names
+
+# Benchmarks small enough for the default (quick) configuration.
+DEFAULT_BENCHMARKS = ["dk512", "modulo12", "ex4", "mark1", "dk16", "donfile"]
+DEFAULT_TRIALS = 10
+
+
+def _full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "no")
+
+
+def selected_benchmarks() -> List[str]:
+    names = os.environ.get("REPRO_BENCH_NAMES")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    if _full_run():
+        return benchmark_names()
+    return list(DEFAULT_BENCHMARKS)
+
+
+def random_trials() -> int:
+    override = os.environ.get("REPRO_BENCH_TRIALS")
+    if override:
+        return max(1, int(override))
+    return 50 if _full_run() else DEFAULT_TRIALS
+
+
+def data_directory() -> Optional[str]:
+    return os.environ.get("REPRO_BENCH_DATA_DIR") or None
+
+
+@pytest.fixture(scope="session")
+def bench_benchmarks() -> List[str]:
+    return selected_benchmarks()
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return random_trials()
+
+
+@pytest.fixture(scope="session")
+def bench_data_dir() -> Optional[str]:
+    return data_directory()

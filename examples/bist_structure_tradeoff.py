@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare the four BIST structures for one controller (Table 1 in practice).
+
+The paper argues that no single self-test structure is best in every respect:
+DFF keeps the system logic untouched but doubles the register, PAT saves
+combinational logic, SIG removes a control signal, and PST avoids register
+duplication and tests dynamic faults at speed, at the price of a potentially
+longer test.  This example synthesises one machine for all four structures
+and prints the measured trade-off next to the paper's qualitative ratings.
+
+Run with::
+
+    python examples/bist_structure_tradeoff.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bist import compare_structures
+from repro.fsm import load_benchmark
+from repro.reporting import format_comparison, format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dk16"
+    machine = load_benchmark(name)
+    print(f"Benchmark {name}: {machine.num_states} states, {machine.num_inputs} inputs, "
+          f"{machine.num_outputs} outputs, {len(machine.transitions)} transitions")
+
+    comparison = compare_structures(machine)
+
+    print()
+    print(format_comparison(comparison.as_rows(), title="Measured structure comparison"))
+
+    print()
+    ratings = comparison.qualitative_ratings()
+    structures = [m.structure for m in comparison.metrics]
+    rows = [[criterion] + [ratings[criterion][s] for s in structures] for criterion in ratings]
+    print(format_table(
+        ["criterion"] + [s.value for s in structures],
+        rows,
+        title="Paper Table 1 (qualitative ratings, '++' best)",
+    ))
+
+    print()
+    print("Reading guide:")
+    print("  * register bits     -> storage-element overhead (DFF/PAT double the register)")
+    print("  * control signals   -> test control effort (PST/SIG need only a scan mode)")
+    print("  * XORs in data path -> speed penalty of the MISR structures in system mode")
+    print("  * mode muxes        -> speed penalty of the reconfigurable structures")
+    print("  * at-speed test     -> whether system-mode dynamic faults are testable")
+
+
+if __name__ == "__main__":
+    main()

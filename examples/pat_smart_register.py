@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The "smart state register" idea of Fig. 3: reuse the LFSR cycle in system mode.
+
+The example reproduces the paper's motivating example step by step:
+
+1. build the three-state FSM of Fig. 3a,
+2. show the autonomous cycle of the LFSR with polynomial ``1 + x + x^2``
+   (Fig. 3b),
+3. run the PAT state assignment so that system transitions coincide with the
+   LFSR cycle,
+4. derive the excitation table and show which next-state entries became
+   don't cares (those transitions need no logic — the register steps there
+   on its own).
+
+Run with::
+
+    python examples/pat_smart_register.py
+"""
+
+from __future__ import annotations
+
+from repro.bist import BISTStructure, derive_excitation, synthesize
+from repro.encoding import assign_pat
+from repro.fsm import FSM, Transition
+from repro.lfsr import LFSR, poly_to_string
+from repro.reporting import format_table
+
+
+def fig3_machine() -> FSM:
+    """The FSM of Fig. 3a (inputs/outputs chosen to match the transition labels)."""
+    transitions = [
+        Transition("0", "A", "A", "0"),
+        Transition("1", "A", "B", "0"),
+        Transition("0", "B", "C", "1"),
+        Transition("1", "B", "A", "0"),
+        Transition("0", "C", "A", "1"),
+        Transition("1", "C", "B", "1"),
+    ]
+    return FSM("fig3", 1, 1, transitions, reset_state="A")
+
+
+def main() -> None:
+    machine = fig3_machine()
+    lfsr = LFSR(2, 0b111)
+    print(f"Pattern generator: LFSR with feedback polynomial {poly_to_string(lfsr.polynomial)}")
+    print(f"Autonomous cycle (Fig. 3b): {' -> '.join(lfsr.cycle('01'))} -> ...")
+
+    assignment = assign_pat(machine, lfsr=lfsr)
+    print()
+    print("PAT state assignment (codes placed on the LFSR cycle):")
+    for state in machine.states:
+        print(f"  {state} -> {assignment.encoding.code_of(state)}")
+    print(f"Transitions realised by the autonomous cycle: "
+          f"{assignment.covered} of {assignment.total}")
+
+    table = derive_excitation(machine, assignment.encoding, BISTStructure.PAT, register=lfsr)
+    print()
+    rows = []
+    for row in table.table.rows:
+        inputs, present = row.inputs[:1], row.inputs[1:]
+        outputs, y, mode = row.outputs[:1], row.outputs[1:3], row.outputs[3:]
+        rows.append([inputs, present, outputs, y, mode])
+    print(format_table(
+        ["input", "present code", "output", "next-state entries", "Mode"],
+        rows,
+        title="Excitation table (next-state '--' = covered by the smart register)",
+    ))
+
+    pat = synthesize(machine, BISTStructure.PAT, encoding=assignment.encoding, register=lfsr)
+    dff = synthesize(machine, BISTStructure.DFF, encoding=assignment.encoding)
+    print()
+    print(f"Product terms with the same encoding: PAT = {pat.product_terms}, "
+          f"DFF = {dff.product_terms}")
+    print("The PAT implementation replaces next-state logic for the covered "
+          "transitions by the register's own pattern-generation step.")
+
+
+if __name__ == "__main__":
+    main()

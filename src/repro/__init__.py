@@ -1,0 +1,56 @@
+"""Reproduction of "A Unified Approach for the Synthesis of Self-Testable
+Finite State Machines" (Eschermann & Wunderlich, DAC 1991).
+
+The package synthesises controllers (finite state machines) into one of four
+built-in self-test (BIST) target structures — DFF, PAT, SIG and PST — while
+accounting for the self-test registers during state assignment and logic
+minimisation, exactly as proposed by the paper.
+
+Typical use::
+
+    from repro import fsm, bist
+
+    machine = fsm.parse_kiss_file("my_controller.kiss2")
+    controller = bist.synthesize(machine, bist.BISTStructure.PST)
+    print(controller.product_terms, controller.sop_literals)
+
+Subpackages:
+    fsm       – symbolic FSM model, KISS2 I/O, benchmark registry
+    logic     – cubes/covers, two-level and multi-level minimisation
+    lfsr      – GF(2) polynomials, LFSRs, MISRs
+    encoding  – state-assignment algorithms (random, MUSTANG, PAT, MISR)
+    bist      – BIST structures, excitation derivation, synthesis flow
+    circuit   – gate-level netlists, logic/fault simulation, self-test runs
+    reporting – text tables for the experiment harness
+"""
+
+from . import bist, circuit, encoding, fsm, lfsr, logic, reporting
+from .bist import BISTStructure, SynthesisOptions, synthesize, synthesize_all_structures
+from .encoding import StateEncoding, assign_misr_states, assign_mustang, assign_pat
+from .fsm import FSM, Transition, load_benchmark, parse_kiss, parse_kiss_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bist",
+    "circuit",
+    "encoding",
+    "fsm",
+    "lfsr",
+    "logic",
+    "reporting",
+    "BISTStructure",
+    "SynthesisOptions",
+    "synthesize",
+    "synthesize_all_structures",
+    "StateEncoding",
+    "assign_misr_states",
+    "assign_mustang",
+    "assign_pat",
+    "FSM",
+    "Transition",
+    "load_benchmark",
+    "parse_kiss",
+    "parse_kiss_file",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""BIST structures, excitation derivation and the synthesis flow."""
+
+from .structures import BISTStructure, PAPER_TABLE1, StructureProfile, structure_profile
+from .excitation import ExcitationTable, derive_excitation
+from .synthesis import (
+    SynthesisOptions,
+    SynthesizedController,
+    synthesize,
+    synthesize_all_structures,
+)
+from .comparison import StructureComparison, StructureMetrics, compare_structures
+
+__all__ = [
+    "BISTStructure",
+    "PAPER_TABLE1",
+    "StructureProfile",
+    "structure_profile",
+    "ExcitationTable",
+    "derive_excitation",
+    "SynthesisOptions",
+    "SynthesizedController",
+    "synthesize",
+    "synthesize_all_structures",
+    "StructureComparison",
+    "StructureMetrics",
+    "compare_structures",
+]

@@ -1,0 +1,114 @@
+"""Comparing the BIST structures for one machine (Table 1 of the paper).
+
+Table 1 of the paper is a qualitative comparison of the four structures
+(area, speed, test length, test control effort, dynamic fault detection).
+This module produces the quantitative counterpart for a concrete machine:
+every structure is synthesised, and the resulting product terms, literals,
+register bits, control signals and data-path XOR counts are collected next to
+the paper's qualitative ratings, so the benchmark harness can check that the
+measured trends match the published expectations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..fsm.machine import FSM
+from .structures import BISTStructure, PAPER_TABLE1, structure_profile
+from .synthesis import SynthesisOptions, SynthesizedController, synthesize
+
+__all__ = ["StructureMetrics", "StructureComparison", "compare_structures"]
+
+
+@dataclass(frozen=True)
+class StructureMetrics:
+    """Quantitative metrics of one synthesised structure."""
+
+    structure: BISTStructure
+    product_terms: int
+    sop_literals: int
+    multilevel_literals: int
+    register_bits: int
+    control_signals: int
+    xor_gates_in_system_path: int
+    mode_multiplexers: int
+    disjoint_test_mode: bool
+    at_speed_dynamic_fault_test: bool
+    autonomous_transitions: int
+
+
+@dataclass(frozen=True)
+class StructureComparison:
+    """Synthesis results of one machine across several BIST structures."""
+
+    fsm_name: str
+    metrics: Tuple[StructureMetrics, ...]
+    controllers: Mapping[BISTStructure, SynthesizedController]
+
+    def metric_for(self, structure: BISTStructure) -> StructureMetrics:
+        for m in self.metrics:
+            if m.structure is structure:
+                return m
+        raise KeyError(f"structure {structure} not part of this comparison")
+
+    def qualitative_ratings(self) -> Dict[str, Mapping[BISTStructure, str]]:
+        """The paper's Table 1 ratings for the compared structures."""
+        return {
+            criterion: {s: ratings[s] for s in ratings if any(m.structure is s for m in self.metrics)}
+            for criterion, ratings in PAPER_TABLE1.items()
+        }
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Row dictionaries for table rendering."""
+        return [
+            {
+                "structure": m.structure.value,
+                "product terms": m.product_terms,
+                "SOP literals": m.sop_literals,
+                "multi-level literals": m.multilevel_literals,
+                "register bits": m.register_bits,
+                "control signals": m.control_signals,
+                "XORs in data path": m.xor_gates_in_system_path,
+                "mode muxes": m.mode_multiplexers,
+                "disjoint test mode": "yes" if m.disjoint_test_mode else "no",
+                "at-speed test": "yes" if m.at_speed_dynamic_fault_test else "no",
+                "autonomous transitions": m.autonomous_transitions,
+            }
+            for m in self.metrics
+        ]
+
+
+def compare_structures(
+    fsm: FSM,
+    structures: Sequence[BISTStructure] = (
+        BISTStructure.DFF,
+        BISTStructure.PAT,
+        BISTStructure.SIG,
+        BISTStructure.PST,
+    ),
+    options: Optional[SynthesisOptions] = None,
+) -> StructureComparison:
+    """Synthesise ``fsm`` for every requested structure and collect metrics."""
+    controllers: Dict[BISTStructure, SynthesizedController] = {}
+    metrics: List[StructureMetrics] = []
+    for structure in structures:
+        controller = synthesize(fsm, structure, options=options)
+        controllers[structure] = controller
+        profile = structure_profile(structure, controller.encoding.width)
+        metrics.append(
+            StructureMetrics(
+                structure=structure,
+                product_terms=controller.product_terms,
+                sop_literals=controller.sop_literals,
+                multilevel_literals=controller.multilevel_literals(),
+                register_bits=profile.register_bits,
+                control_signals=profile.control_signals,
+                xor_gates_in_system_path=profile.xor_gates_in_system_path,
+                mode_multiplexers=profile.mode_multiplexers,
+                disjoint_test_mode=profile.disjoint_test_mode,
+                at_speed_dynamic_fault_test=profile.at_speed_dynamic_fault_test,
+                autonomous_transitions=controller.excitation.autonomous_transitions,
+            )
+        )
+    return StructureComparison(fsm.name, tuple(metrics), controllers)

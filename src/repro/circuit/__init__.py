@@ -1,0 +1,39 @@
+"""Gate-level circuits, logic simulation, fault simulation and self-test."""
+
+from .netlist import FlipFlop, Gate, Netlist, netlist_from_controller, netlist_from_cover
+from .simulate import LogicSimulator, StuckAtFault
+from .faults import (
+    FaultSimulationResult,
+    FaultSimulator,
+    enumerate_faults,
+    random_input_words,
+)
+from .selftest import (
+    SelfTestResult,
+    compare_test_lengths,
+    simulate_conventional_self_test,
+    simulate_parallel_self_test,
+    patterns_for_coverage,
+)
+from .verilog import controller_to_verilog, netlist_to_verilog
+
+__all__ = [
+    "FlipFlop",
+    "Gate",
+    "Netlist",
+    "netlist_from_controller",
+    "netlist_from_cover",
+    "LogicSimulator",
+    "StuckAtFault",
+    "FaultSimulationResult",
+    "FaultSimulator",
+    "enumerate_faults",
+    "random_input_words",
+    "SelfTestResult",
+    "compare_test_lengths",
+    "simulate_conventional_self_test",
+    "simulate_parallel_self_test",
+    "patterns_for_coverage",
+    "controller_to_verilog",
+    "netlist_to_verilog",
+]

@@ -1,0 +1,171 @@
+"""Single stuck-at fault enumeration and fault simulation.
+
+The testability arguments of the paper (Section 2.5, and the quantitative
+claims imported from EsWu 91) are about single stuck-at faults in the
+combinational logic and the register structure.  This module provides
+
+* :func:`enumerate_faults` — the collapsed single stuck-at fault list of a
+  netlist (stem faults on every gate output plus branch faults on gate
+  inputs with fanout),
+* :class:`FaultSimulator` — serial-fault / parallel-pattern simulation of a
+  sequential netlist, reporting which faults are detected at the observation
+  points (primary outputs and captured next-state lines).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .netlist import Netlist
+from .simulate import LogicSimulator, StuckAtFault
+
+__all__ = ["enumerate_faults", "FaultSimulator", "FaultSimulationResult", "random_input_words"]
+
+
+def enumerate_faults(netlist: Netlist, include_branches: bool = True) -> List[StuckAtFault]:
+    """Enumerate single stuck-at faults of a netlist.
+
+    Stem faults (stuck-at-0/1 on every gate output, including primary inputs
+    and state signals) are always included.  With ``include_branches`` the
+    input branches of gates whose driving signal fans out to more than one
+    consumer get their own faults, as is standard for stuck-at fault models.
+    """
+    faults: List[StuckAtFault] = []
+    for signal in netlist.signals():
+        for value in (0, 1):
+            faults.append(StuckAtFault(signal, value))
+
+    if include_branches:
+        fanout: Dict[str, int] = {}
+        for gate in netlist.gates.values():
+            for src in gate.inputs:
+                fanout[src] = fanout.get(src, 0) + 1
+        for ff in netlist.flip_flops:
+            fanout[ff.data] = fanout.get(ff.data, 0) + 1
+        for gate in netlist.gates.values():
+            for src in gate.inputs:
+                if fanout.get(src, 0) > 1:
+                    for value in (0, 1):
+                        faults.append(StuckAtFault(src, value, gate_input=gate.output))
+    return faults
+
+
+def random_input_words(
+    input_names: Sequence[str], count: int, word_width: int, seed: int = 0
+) -> List[Dict[str, int]]:
+    """Generate ``count`` words of uniformly random primary-input patterns."""
+    rng = random.Random(seed)
+    mask = (1 << word_width) - 1
+    return [
+        {name: rng.getrandbits(word_width) & mask for name in input_names}
+        for _ in range(count)
+    ]
+
+
+@dataclass
+class FaultSimulationResult:
+    """Outcome of a fault-simulation run."""
+
+    total_faults: int
+    detected: Set[str] = field(default_factory=set)
+    detection_cycle: Dict[str, int] = field(default_factory=dict)
+    cycles_simulated: int = 0
+
+    @property
+    def detected_count(self) -> int:
+        return len(self.detected)
+
+    @property
+    def coverage(self) -> float:
+        return self.detected_count / self.total_faults if self.total_faults else 1.0
+
+    def coverage_curve(self, cycles: Optional[int] = None) -> List[Tuple[int, float]]:
+        """Fault coverage after each cycle (for test-length plots)."""
+        horizon = cycles if cycles is not None else self.cycles_simulated
+        curve = []
+        for cycle in range(1, horizon + 1):
+            hits = sum(1 for c in self.detection_cycle.values() if c <= cycle)
+            curve.append((cycle, hits / self.total_faults if self.total_faults else 1.0))
+        return curve
+
+
+class FaultSimulator:
+    """Serial-fault, parallel-pattern stuck-at fault simulation."""
+
+    def __init__(self, netlist: Netlist, word_width: int = 64) -> None:
+        self.netlist = netlist
+        self.simulator = LogicSimulator(netlist, word_width)
+        self.word_width = word_width
+
+    def _observation_points(self, observe: Optional[Sequence[str]]) -> List[str]:
+        if observe is not None:
+            return list(observe)
+        points = list(self.netlist.primary_outputs)
+        points.extend(ff.data for ff in self.netlist.flip_flops)
+        return points
+
+    def run(
+        self,
+        input_sequence: Sequence[Mapping[str, int]],
+        faults: Optional[Sequence[StuckAtFault]] = None,
+        observe: Optional[Sequence[str]] = None,
+        initial_state: Optional[Mapping[str, int]] = None,
+        stop_when_all_detected: bool = True,
+    ) -> FaultSimulationResult:
+        """Fault-simulate an input sequence.
+
+        Every fault is simulated against the fault-free ("good") circuit; a
+        fault counts as detected in the first cycle in which any observation
+        point differs from the good value in any pattern lane.  The state of
+        both good and faulty machines evolves over the whole sequence, so
+        sequential fault effects (faults that need several cycles to
+        propagate) are handled correctly.
+        """
+        fault_list = list(faults) if faults is not None else enumerate_faults(self.netlist)
+        observation = self._observation_points(observe)
+
+        good_state = dict(initial_state) if initial_state is not None else self.simulator.reset_state()
+        fault_states: Dict[str, Dict[str, int]] = {
+            f.describe(): dict(good_state) for f in fault_list
+        }
+        result = FaultSimulationResult(total_faults=len(fault_list))
+        undetected: List[StuckAtFault] = list(fault_list)
+
+        for cycle, inputs in enumerate(input_sequence, start=1):
+            good_values, good_state = self.simulator.step(inputs, good_state)
+            good_obs = {name: good_values[name] for name in observation if name in good_values}
+
+            still_undetected: List[StuckAtFault] = []
+            for fault in undetected:
+                key = fault.describe()
+                values, next_state = self.simulator.step(inputs, fault_states[key], fault)
+                mismatch = any(
+                    values.get(name, 0) != good_obs.get(name, 0) for name in good_obs
+                )
+                if mismatch:
+                    result.detected.add(key)
+                    result.detection_cycle[key] = cycle
+                else:
+                    fault_states[key] = next_state
+                    still_undetected.append(fault)
+            undetected = still_undetected
+            result.cycles_simulated = cycle
+            if stop_when_all_detected and not undetected:
+                break
+        return result
+
+    def coverage_for_random_patterns(
+        self,
+        pattern_count: int,
+        seed: int = 0,
+        faults: Optional[Sequence[StuckAtFault]] = None,
+        observe: Optional[Sequence[str]] = None,
+    ) -> FaultSimulationResult:
+        """Convenience wrapper: random primary-input patterns, one per cycle."""
+        words = max(1, (pattern_count + self.word_width - 1) // self.word_width)
+        sequence = random_input_words(
+            self.netlist.primary_inputs, words, self.word_width, seed=seed
+        )
+        return self.run(sequence, faults=faults, observe=observe)

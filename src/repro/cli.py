@@ -1,0 +1,196 @@
+"""Command-line interface for the synthesis flow.
+
+The CLI exposes the main use cases of the library without writing Python:
+
+* ``repro synthesize controller.kiss2 --structure PST`` — run the full flow
+  for one machine and print the result (optionally writing the minimised PLA
+  and a structural Verilog netlist),
+* ``repro compare controller.kiss2`` — synthesise all four BIST structures
+  and print the Table-1-style comparison,
+* ``repro benchmarks --names dk16,dk512`` — regenerate the Table 2 / Table 3
+  rows for a set of MCNC benchmarks (synthetic stand-ins unless a data
+  directory with the original ``.kiss2`` files is given),
+* ``repro validate controller.kiss2`` — check a KISS2 description.
+
+Invoke as ``python -m repro ...`` (an entry point is intentionally avoided so
+the offline editable install stays trivial).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .bist import BISTStructure, SynthesisOptions, compare_structures, synthesize
+from .circuit.verilog import controller_to_verilog
+from .encoding import random_search
+from .fsm import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    benchmark_names,
+    load_benchmark,
+    parse_kiss_file,
+    validate_fsm,
+)
+from .logic.pla import write_pla
+from .reporting import format_comparison, format_paper_vs_measured, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesis of self-testable finite state machines (DAC 1991 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synthesize", help="synthesise one controller")
+    synth.add_argument("kiss_file", type=Path, help="FSM description in KISS2 format")
+    synth.add_argument("--structure", choices=[s.value for s in BISTStructure], default="PST")
+    synth.add_argument("--width", type=int, default=None, help="number of state variables")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--pla-out", type=Path, default=None, help="write the minimised cover as PLA")
+    synth.add_argument("--verilog-out", type=Path, default=None, help="write a structural Verilog netlist")
+
+    compare = sub.add_parser("compare", help="compare all BIST structures for one controller")
+    compare.add_argument("kiss_file", type=Path)
+    compare.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("benchmarks", help="regenerate Table 2 / Table 3 rows")
+    bench.add_argument("--names", default="dk512,modulo12,ex4,mark1",
+                       help="comma-separated benchmark names or 'all'")
+    bench.add_argument("--trials", type=int, default=10, help="random encodings for Table 2")
+    bench.add_argument("--data-dir", type=Path, default=None,
+                       help="directory with original MCNC .kiss2 files")
+
+    validate = sub.add_parser("validate", help="validate a KISS2 description")
+    validate.add_argument("kiss_file", type=Path)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "benchmarks":
+        return _cmd_benchmarks(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ------------------------------------------------------------------ commands
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    machine = parse_kiss_file(args.kiss_file)
+    structure = BISTStructure(args.structure)
+    options = SynthesisOptions(width=args.width, seed=args.seed)
+    controller = synthesize(machine, structure, options=options)
+
+    rows = [
+        ["machine", machine.name],
+        ["structure", structure.value],
+        ["states / inputs / outputs", f"{machine.num_states} / {machine.num_inputs} / {machine.num_outputs}"],
+        ["state variables", controller.encoding.width],
+        ["product terms", controller.product_terms],
+        ["two-level literals", controller.sop_literals],
+        ["multi-level literals", controller.multilevel_literals()],
+    ]
+    if controller.register is not None:
+        rows.append(["feedback polynomial", bin(controller.register.polynomial)])
+    print(format_table(["metric", "value"], rows, title="Synthesis result"))
+    print()
+    print("State assignment:")
+    for state in machine.states:
+        print(f"  {state} -> {controller.encoding.code_of(state)}")
+
+    if args.pla_out is not None:
+        excitation = controller.excitation
+        args.pla_out.write_text(
+            write_pla(
+                controller.minimization.cover,
+                input_names=list(excitation.input_names),
+                output_names=list(excitation.output_names),
+            )
+        )
+        print(f"\nwrote minimised PLA to {args.pla_out}")
+    if args.verilog_out is not None:
+        args.verilog_out.write_text(controller_to_verilog(controller))
+        print(f"wrote Verilog netlist to {args.verilog_out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    machine = parse_kiss_file(args.kiss_file)
+    comparison = compare_structures(machine, options=SynthesisOptions(seed=args.seed))
+    print(format_comparison(comparison.as_rows(), title=f"BIST structure comparison — {machine.name}"))
+    return 0
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    if args.names.strip().lower() == "all":
+        names = benchmark_names()
+    else:
+        names = [n.strip() for n in args.names.split(",") if n.strip()]
+
+    table2: List[dict] = []
+    table3: List[dict] = []
+    for name in names:
+        machine = load_benchmark(name, data_dir=args.data_dir)
+        search = random_search(
+            machine,
+            lambda enc, m=machine: synthesize(m, BISTStructure.PST, encoding=enc).product_terms,
+            trials=args.trials,
+            seed=1991,
+        )
+        heuristic = synthesize(machine, BISTStructure.PST).product_terms
+        paper2 = PAPER_TABLE2[name]
+        table2.append({
+            "benchmark": name,
+            "random avg": round(search.average_cost, 1),
+            "random best": int(search.best_cost),
+            "heuristic": heuristic,
+            "paper heuristic": paper2.heuristic,
+        })
+        dff = synthesize(machine, BISTStructure.DFF).product_terms
+        pat = synthesize(machine, BISTStructure.PAT).product_terms
+        paper3 = PAPER_TABLE3[name]
+        table3.append({
+            "benchmark": name,
+            "PST/SIG": heuristic,
+            "DFF": dff,
+            "PAT": pat,
+            "paper PST/SIG": paper3.terms_pst_sig,
+            "paper DFF": paper3.terms_dff,
+            "paper PAT": paper3.terms_pat,
+        })
+
+    print(format_paper_vs_measured(table2, title=f"Table 2 ({args.trials} random encodings)"))
+    print()
+    print(format_paper_vs_measured(table3, title="Table 3 (product terms)"))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    machine = parse_kiss_file(args.kiss_file)
+    report = validate_fsm(machine)
+    print(f"{machine.name}: {machine.num_states} states, {machine.num_inputs} inputs, "
+          f"{machine.num_outputs} outputs, {len(machine.transitions)} transitions")
+    for issue in report.issues:
+        print(f"  [{issue.severity}] {issue.code}: {issue.message}")
+    if report.ok:
+        print("OK")
+        return 0
+    print("ERRORS found")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""State assignment algorithms for the four BIST target structures."""
+
+from .assignment import EncodingError, StateEncoding, gray_encoding, natural_encoding
+from .cost import (
+    encoding_cost,
+    face_contains_foreign_state,
+    first_column_incompatibility,
+    group_face,
+    input_incompatibility,
+    output_incompatibility,
+    partial_assignment_cost,
+)
+from .misr_assign import MISRAssignmentResult, assign_misr_states
+from .mustang import MustangResult, affinity_weights, assign_mustang
+from .pat import PATAssignmentResult, assign_pat, covered_transitions
+from .random_search import RandomSearchResult, random_encoding, random_search
+
+__all__ = [
+    "EncodingError",
+    "StateEncoding",
+    "gray_encoding",
+    "natural_encoding",
+    "encoding_cost",
+    "face_contains_foreign_state",
+    "first_column_incompatibility",
+    "group_face",
+    "input_incompatibility",
+    "output_incompatibility",
+    "partial_assignment_cost",
+    "MISRAssignmentResult",
+    "assign_misr_states",
+    "MustangResult",
+    "affinity_weights",
+    "assign_mustang",
+    "PATAssignmentResult",
+    "assign_pat",
+    "covered_transitions",
+    "RandomSearchResult",
+    "random_encoding",
+    "random_search",
+]

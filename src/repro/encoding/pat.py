@@ -1,0 +1,165 @@
+"""State assignment for the PAT structure ("smart state register").
+
+The PAT structure (Fig. 4 of the paper, algorithm from Eschermann & Wunderlich
+1990) reuses the autonomous cycle of the pattern-generation LFSR during system
+mode: whenever a system transition ``s -> s+`` maps onto two *consecutive*
+LFSR states (``code(s+) = L(code(s))``), the next-state logic does not have to
+produce the target code at all — the register steps there by itself and the
+next-state outputs become don't cares (only the extra ``Mode`` signal must be
+asserted appropriately).
+
+The assignment problem is therefore: place the state codes on the LFSR cycle
+such that as many (and as heavily used) transitions as possible become
+consecutive.  This module implements a greedy chain-mapping heuristic:
+
+1. build a weighted transition digraph between states,
+2. extract a heavy simple path greedily and map it onto consecutive positions
+   of the LFSR cycle,
+3. repeatedly try to extend coverage by placing still-unplaced states directly
+   after their placed predecessors on the cycle,
+4. place any remaining states on the remaining codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fsm.machine import FSM, cube_minterm_count
+from ..lfsr.lfsr import LFSR
+from .assignment import StateEncoding
+
+__all__ = ["PATAssignmentResult", "assign_pat", "covered_transitions"]
+
+
+@dataclass(frozen=True)
+class PATAssignmentResult:
+    """Outcome of the PAT-targeted state assignment.
+
+    Attributes:
+        encoding: the injective state encoding found.
+        lfsr: the pattern-generation register whose cycle was used.
+        covered: number of STG transitions realised by the autonomous cycle.
+        total: total number of STG transitions (with specified next state).
+    """
+
+    encoding: StateEncoding
+    lfsr: LFSR
+    covered: int
+    total: int
+
+    @property
+    def coverage_ratio(self) -> float:
+        return self.covered / self.total if self.total else 0.0
+
+
+def assign_pat(
+    fsm: FSM,
+    width: Optional[int] = None,
+    lfsr: Optional[LFSR] = None,
+) -> PATAssignmentResult:
+    """Assign codes so that many transitions ride the LFSR's autonomous cycle."""
+    r = width if width is not None else fsm.min_code_bits
+    if (1 << r) < fsm.num_states:
+        raise ValueError(f"width {r} cannot encode {fsm.num_states} states")
+    register = lfsr if lfsr is not None else LFSR.with_primitive_polynomial(r)
+    if register.width != r:
+        raise ValueError("LFSR width does not match the encoding width")
+
+    cycle = register.cycle()
+    weights = _transition_weights(fsm)
+
+    placed: Dict[str, str] = {}
+    free_cycle_positions = list(range(len(cycle)))
+
+    # Step 1+2: map a heavy path onto consecutive cycle positions.
+    path = _heavy_path(fsm, weights)
+    start = 0
+    for offset, state in enumerate(path):
+        if offset >= len(cycle):
+            break
+        placed[state] = cycle[(start + offset) % len(cycle)]
+        free_cycle_positions.remove((start + offset) % len(cycle))
+
+    # Step 3: opportunistically extend coverage state by state.
+    improved = True
+    while improved:
+        improved = False
+        for (u, v), _ in sorted(weights.items(), key=lambda kv: (-kv[1], kv[0])):
+            if u in placed and v not in placed:
+                successor = register.next_state(placed[u])
+                position = cycle.index(successor) if successor in cycle else None
+                if position is not None and position in free_cycle_positions:
+                    placed[v] = successor
+                    free_cycle_positions.remove(position)
+                    improved = True
+
+    # Step 4: place everything else on the remaining codes.
+    remaining_codes = [cycle[p] for p in free_cycle_positions]
+    all_codes = [format(v, f"0{r}b") for v in range(1 << r)]
+    remaining_codes += [c for c in all_codes if c not in cycle and c not in placed.values()]
+    for state in fsm.states:
+        if state not in placed:
+            placed[state] = remaining_codes.pop(0)
+
+    encoding = StateEncoding(r, placed)
+    covered, total = covered_transitions(fsm, encoding, register)
+    return PATAssignmentResult(encoding, register, covered, total)
+
+
+def covered_transitions(fsm: FSM, encoding: StateEncoding, lfsr: LFSR) -> Tuple[int, int]:
+    """Count transitions whose next state equals the LFSR's autonomous step."""
+    covered = 0
+    total = 0
+    for t in fsm.transitions:
+        if t.next == "*":
+            continue
+        total += 1
+        if lfsr.next_state(encoding.code_of(t.present)) == encoding.code_of(t.next):
+            covered += 1
+    return covered, total
+
+
+def _transition_weights(fsm: FSM) -> Dict[Tuple[str, str], int]:
+    """Weight of each (present, next) pair: number of covered input minterms."""
+    weights: Dict[Tuple[str, str], int] = {}
+    for t in fsm.transitions:
+        if t.next == "*" or t.next == t.present:
+            continue
+        key = (t.present, t.next)
+        weights[key] = weights.get(key, 0) + cube_minterm_count(t.inputs)
+    return weights
+
+
+def _heavy_path(fsm: FSM, weights: Dict[Tuple[str, str], int]) -> List[str]:
+    """Greedy heavy simple path through the transition digraph."""
+    if not weights:
+        return list(fsm.states)
+
+    outgoing: Dict[str, List[Tuple[str, int]]] = {}
+    for (u, v), w in weights.items():
+        outgoing.setdefault(u, []).append((v, w))
+    for u in outgoing:
+        outgoing[u].sort(key=lambda vw: (-vw[1], vw[0]))
+
+    # Try starting from every state; keep the heaviest path found.
+    best_path: List[str] = []
+    best_weight = -1
+    for start in fsm.states:
+        path = [start]
+        visited = {start}
+        weight_sum = 0
+        current = start
+        while True:
+            options = [(v, w) for v, w in outgoing.get(current, []) if v not in visited]
+            if not options:
+                break
+            nxt, w = options[0]
+            path.append(nxt)
+            visited.add(nxt)
+            weight_sum += w
+            current = nxt
+        if weight_sum > best_weight or (weight_sum == best_weight and len(path) > len(best_path)):
+            best_weight = weight_sum
+            best_path = path
+    return best_path

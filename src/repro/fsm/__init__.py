@@ -1,0 +1,56 @@
+"""FSM substrate: symbolic machine model, KISS2 I/O, benchmark registry."""
+
+from .machine import (
+    FSM,
+    FSMError,
+    Transition,
+    cube_matches,
+    cube_minterm_count,
+    cubes_intersect,
+    expand_cube,
+)
+from .kiss import KissFormatError, parse_kiss, parse_kiss_file, write_kiss, write_kiss_file
+from .generators import generate_controller, generate_counter, generate_random_fsm
+from .mcnc import (
+    BENCHMARK_STATS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    BenchmarkStats,
+    PaperTable2Row,
+    PaperTable3Row,
+    benchmark_names,
+    load_benchmark,
+    load_benchmark_suite,
+)
+from .validate import ValidationIssue, ValidationReport, structural_summary, validate_fsm
+
+__all__ = [
+    "FSM",
+    "FSMError",
+    "Transition",
+    "cube_matches",
+    "cube_minterm_count",
+    "cubes_intersect",
+    "expand_cube",
+    "KissFormatError",
+    "parse_kiss",
+    "parse_kiss_file",
+    "write_kiss",
+    "write_kiss_file",
+    "generate_controller",
+    "generate_counter",
+    "generate_random_fsm",
+    "BENCHMARK_STATS",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "BenchmarkStats",
+    "PaperTable2Row",
+    "PaperTable3Row",
+    "benchmark_names",
+    "load_benchmark",
+    "load_benchmark_suite",
+    "ValidationIssue",
+    "ValidationReport",
+    "structural_summary",
+    "validate_fsm",
+]

@@ -1,0 +1,131 @@
+"""Reading and writing FSMs in the MCNC KISS2 format.
+
+The MCNC benchmark set (LGSynth / MCNC 1988) distributes finite state
+machines as ``.kiss2`` files.  A file looks like::
+
+    .i 3
+    .o 2
+    .p 24
+    .s 8
+    .r st0
+    0-- st0 st1 01
+    1-- st0 st2 0-
+    ...
+    .e
+
+Every non-directive line describes one transition: input cube, present state,
+next state and output cube.  ``*`` as a next state means "unspecified".  The
+``.p`` (number of transitions) and ``.s`` (number of states) directives are
+optional and, when present, are checked against the actual contents.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .machine import FSM, FSMError, Transition
+
+__all__ = ["parse_kiss", "parse_kiss_file", "write_kiss", "write_kiss_file", "KissFormatError"]
+
+
+class KissFormatError(FSMError):
+    """Raised when a KISS2 description cannot be parsed."""
+
+
+def parse_kiss(text: str, name: str = "fsm") -> FSM:
+    """Parse a KISS2 description from a string and return an :class:`FSM`."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    declared_terms: Optional[int] = None
+    declared_states: Optional[int] = None
+    reset_state: Optional[str] = None
+    transitions: List[Transition] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = _parse_int(parts, lineno, ".i")
+            elif directive == ".o":
+                num_outputs = _parse_int(parts, lineno, ".o")
+            elif directive == ".p":
+                declared_terms = _parse_int(parts, lineno, ".p")
+            elif directive == ".s":
+                declared_states = _parse_int(parts, lineno, ".s")
+            elif directive == ".r":
+                if len(parts) != 2:
+                    raise KissFormatError(f"line {lineno}: .r needs exactly one state name")
+                reset_state = parts[1]
+            elif directive == ".e" or directive == ".end":
+                break
+            else:
+                raise KissFormatError(f"line {lineno}: unknown directive {directive!r}")
+            continue
+
+        fields = line.split()
+        if len(fields) != 4:
+            raise KissFormatError(
+                f"line {lineno}: expected 'inputs present next outputs', got {line!r}"
+            )
+        inputs, present, nxt, outputs = fields
+        transitions.append(Transition(inputs, present, nxt, outputs))
+
+    if num_inputs is None or num_outputs is None:
+        raise KissFormatError("missing .i or .o directive")
+    if not transitions:
+        raise KissFormatError("KISS2 description contains no transitions")
+
+    fsm = FSM(name, num_inputs, num_outputs, transitions, reset_state=reset_state)
+
+    if declared_terms is not None and declared_terms != len(transitions):
+        raise KissFormatError(
+            f".p declares {declared_terms} transitions but {len(transitions)} were given"
+        )
+    if declared_states is not None and declared_states != fsm.num_states:
+        raise KissFormatError(
+            f".s declares {declared_states} states but {fsm.num_states} distinct states appear"
+        )
+    return fsm
+
+
+def parse_kiss_file(path: Union[str, Path], name: Optional[str] = None) -> FSM:
+    """Parse a ``.kiss2`` file; the FSM name defaults to the file stem."""
+    path = Path(path)
+    return parse_kiss(path.read_text(), name=name or path.stem)
+
+
+def write_kiss(fsm: FSM) -> str:
+    """Serialise an :class:`FSM` to KISS2 text."""
+    buf = io.StringIO()
+    buf.write(f".i {fsm.num_inputs}\n")
+    buf.write(f".o {fsm.num_outputs}\n")
+    buf.write(f".p {len(fsm.transitions)}\n")
+    buf.write(f".s {fsm.num_states}\n")
+    buf.write(f".r {fsm.reset_state}\n")
+    for t in fsm.transitions:
+        buf.write(f"{t.inputs} {t.present} {t.next} {t.outputs}\n")
+    buf.write(".e\n")
+    return buf.getvalue()
+
+
+def write_kiss_file(fsm: FSM, path: Union[str, Path]) -> None:
+    """Write an :class:`FSM` to a ``.kiss2`` file."""
+    Path(path).write_text(write_kiss(fsm))
+
+
+def _parse_int(parts: List[str], lineno: int, directive: str) -> int:
+    if len(parts) != 2:
+        raise KissFormatError(f"line {lineno}: {directive} needs exactly one integer")
+    try:
+        value = int(parts[1])
+    except ValueError as exc:
+        raise KissFormatError(f"line {lineno}: {directive} argument must be an integer") from exc
+    if value < 0:
+        raise KissFormatError(f"line {lineno}: {directive} argument must be non-negative")
+    return value

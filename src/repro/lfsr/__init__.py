@@ -1,0 +1,33 @@
+"""Linear feedback shift registers, MISRs and GF(2) polynomial arithmetic."""
+
+from .polynomial import (
+    default_primitive_polynomial,
+    degree,
+    is_irreducible,
+    is_primitive,
+    multiply_mod,
+    poly_from_taps,
+    poly_to_string,
+    power_mod,
+    primitive_polynomials,
+    taps_from_poly,
+)
+from .lfsr import LFSR, bits_to_code, code_to_bits
+from .misr import MISR
+
+__all__ = [
+    "default_primitive_polynomial",
+    "degree",
+    "is_irreducible",
+    "is_primitive",
+    "multiply_mod",
+    "poly_from_taps",
+    "poly_to_string",
+    "power_mod",
+    "primitive_polynomials",
+    "taps_from_poly",
+    "LFSR",
+    "bits_to_code",
+    "code_to_bits",
+    "MISR",
+]

@@ -1,0 +1,100 @@
+"""Multiple-input signature registers (MISRs).
+
+A MISR compacts a stream of parallel test responses into a signature.  Its
+next state combines the autonomous LFSR step with the data inputs:
+
+    s' = M(s) XOR d      with   M(s) = (m(s), s1, ..., s_{r-1})
+
+The PST and SIG structures of the paper use a MISR directly as the state
+register of the controller: the combinational logic produces the excitation
+vector ``y = s+ XOR M(s)``, so after the (linear) MISR step the register holds
+exactly the desired next state ``s+``.  This module provides the register
+model, signature computation and aliasing-related helpers used by the
+self-test simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from .lfsr import LFSR, bits_to_code, code_to_bits
+
+__all__ = ["MISR"]
+
+
+def _xor_codes(a: str, b: str) -> str:
+    if len(a) != len(b):
+        raise ValueError("codes must have equal width for XOR")
+    return bits_to_code(tuple(x ^ y for x, y in zip(code_to_bits(a), code_to_bits(b))))
+
+
+@dataclass(frozen=True)
+class MISR:
+    """A multiple-input signature register built around an :class:`LFSR`."""
+
+    lfsr: LFSR
+
+    @classmethod
+    def with_primitive_polynomial(cls, width: int) -> "MISR":
+        return cls(LFSR.with_primitive_polynomial(width))
+
+    @property
+    def width(self) -> int:
+        return self.lfsr.width
+
+    @property
+    def polynomial(self) -> int:
+        return self.lfsr.polynomial
+
+    # ------------------------------------------------------------- behaviour
+    def autonomous_next(self, code: str) -> str:
+        """``M(s)`` — the next state with all data inputs at zero."""
+        return self.lfsr.next_state(code)
+
+    def feedback(self, code: str) -> int:
+        """``m(s)`` — the feedback bit entering the first stage."""
+        return self.lfsr.feedback(code)
+
+    def next_state(self, code: str, data: str) -> str:
+        """One MISR step: ``s' = M(s) XOR d``."""
+        return _xor_codes(self.autonomous_next(code), data)
+
+    def excitation_for_transition(self, present_code: str, next_code: str) -> str:
+        """The excitation vector ``y`` that moves the register from ``s`` to ``s+``.
+
+        Because the MISR step is linear, ``y = s+ XOR M(s)``; this is the
+        identity the PST/SIG synthesis relies on (Section 2.4 of the paper).
+        """
+        return _xor_codes(next_code, self.autonomous_next(present_code))
+
+    def signature(self, responses: Iterable[str], seed: Optional[str] = None) -> str:
+        """Compact a sequence of response vectors into a signature."""
+        state = seed if seed is not None else "0" * self.width
+        if len(state) != self.width:
+            raise ValueError("seed width does not match register width")
+        for response in responses:
+            state = self.next_state(state, response)
+        return state
+
+    def signatures_over_time(self, responses: Sequence[str], seed: Optional[str] = None) -> List[str]:
+        """The register contents after each response (useful for debugging)."""
+        state = seed if seed is not None else "0" * self.width
+        trace = []
+        for response in responses:
+            state = self.next_state(state, response)
+            trace.append(state)
+        return trace
+
+    def aliasing_probability(self, test_length: int) -> float:
+        """Asymptotic aliasing probability estimate ``2**-r`` (long tests).
+
+        For a MISR with a primitive feedback polynomial the probability that a
+        faulty response sequence maps to the fault-free signature approaches
+        ``2**-r`` as the test length grows; for short tests it is bounded by
+        the same value.  The self-test reports use this as the fault-masking
+        term mentioned in Section 2.5 of the paper.
+        """
+        if test_length <= 0:
+            return 0.0
+        return 2.0 ** (-self.width)

@@ -1,0 +1,41 @@
+"""Two-level and multi-level logic substrate (cubes, covers, minimisers)."""
+
+from .cube import Cube, CubeError
+from .cover import Cover, TautologyBudget
+from .espresso import MinimizationResult, minimize, quick_minimize, verify_minimization
+from .symbolic import SymbolicImplicant, symbolic_implicant_count, symbolic_minimize
+from .factor import (
+    BooleanNetwork,
+    NetworkNode,
+    build_network,
+    extract_common_cubes,
+    multilevel_literal_count,
+)
+from .truth_table import TableRow, TruthTable
+from .pla import PLAFormatError, parse_pla, parse_pla_file, write_pla, write_pla_file
+
+__all__ = [
+    "PLAFormatError",
+    "parse_pla",
+    "parse_pla_file",
+    "write_pla",
+    "write_pla_file",
+    "Cube",
+    "CubeError",
+    "Cover",
+    "TautologyBudget",
+    "MinimizationResult",
+    "minimize",
+    "quick_minimize",
+    "verify_minimization",
+    "SymbolicImplicant",
+    "symbolic_implicant_count",
+    "symbolic_minimize",
+    "BooleanNetwork",
+    "NetworkNode",
+    "build_network",
+    "extract_common_cubes",
+    "multilevel_literal_count",
+    "TableRow",
+    "TruthTable",
+]

@@ -1,0 +1,257 @@
+"""Covers (lists of cubes) and the cube-cover algorithms used for minimisation.
+
+A :class:`Cover` bundles a list of :class:`~repro.logic.cube.Cube` objects
+with the input/output widths of the function it describes.  The central
+primitive is :meth:`Cover.covers_cube` — "is this cube's input part contained
+in the union of the cover's cubes for a given output?" — implemented with the
+classic recursive tautology check (Shannon expansion on the most binate
+variable with unate-cover termination).  Everything else (espresso-style
+expansion, irredundant covers, functional equivalence checks) builds on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cube import Cube, CubeError, FULL_FIELD
+
+__all__ = ["Cover", "TautologyBudget", "BudgetExceeded"]
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised internally when a tautology check exceeds its node budget."""
+
+
+@dataclass
+class TautologyBudget:
+    """Node budget for tautology recursions.
+
+    The heuristic minimiser uses a budget so that a single pathological check
+    cannot dominate the runtime; when the budget is exhausted the caller
+    treats the answer as "not covered", which is always safe (it only makes
+    the result less optimised, never incorrect).
+    """
+
+    limit: Optional[int] = None
+    used: int = 0
+
+    def spend(self, amount: int = 1) -> None:
+        if self.limit is None:
+            return
+        self.used += amount
+        if self.used > self.limit:
+            raise BudgetExceeded()
+
+
+class Cover:
+    """A multi-output cover: a list of cubes plus the function dimensions."""
+
+    def __init__(self, num_inputs: int, num_outputs: int, cubes: Iterable[Cube] = ()) -> None:
+        self.num_inputs = int(num_inputs)
+        self.num_outputs = int(num_outputs)
+        self._cubes: List[Cube] = []
+        for cube in cubes:
+            self.add(cube)
+
+    # ---------------------------------------------------------------- basic
+    def add(self, cube: Cube) -> None:
+        if cube.num_inputs != self.num_inputs:
+            raise CubeError(
+                f"cube has {cube.num_inputs} inputs, cover expects {self.num_inputs}"
+            )
+        if cube.outputs >> self.num_outputs:
+            raise CubeError("cube drives outputs beyond the cover's output count")
+        self._cubes.append(cube)
+
+    def extend(self, cubes: Iterable[Cube]) -> None:
+        for cube in cubes:
+            self.add(cube)
+
+    @property
+    def cubes(self) -> Tuple[Cube, ...]:
+        return tuple(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def copy(self) -> "Cover":
+        return Cover(self.num_inputs, self.num_outputs, self._cubes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cover(inputs={self.num_inputs}, outputs={self.num_outputs}, cubes={len(self)})"
+
+    # -------------------------------------------------------------- metrics
+    def product_term_count(self) -> int:
+        """Number of product terms (rows of the PLA)."""
+        return len(self._cubes)
+
+    def input_literal_count(self) -> int:
+        """Total number of specified input literals over all cubes."""
+        return sum(c.literal_count() for c in self._cubes)
+
+    def sop_literal_count(self) -> int:
+        """Two-level literal count: input literals plus output connections."""
+        return sum(c.literal_count() + c.output_count() for c in self._cubes)
+
+    # ------------------------------------------------------------ structure
+    def cubes_for_output(self, output: int) -> List[Cube]:
+        """Cubes that feed ``output``."""
+        mask = 1 << output
+        return [c for c in self._cubes if c.outputs & mask]
+
+    def merged_with(self, other: "Cover") -> "Cover":
+        if (self.num_inputs, self.num_outputs) != (other.num_inputs, other.num_outputs):
+            raise CubeError("cannot merge covers with different dimensions")
+        merged = self.copy()
+        merged.extend(other.cubes)
+        return merged
+
+    def without_index(self, index: int) -> "Cover":
+        cover = Cover(self.num_inputs, self.num_outputs)
+        cover.extend(c for i, c in enumerate(self._cubes) if i != index)
+        return cover
+
+    def remove_single_cube_containment(self) -> "Cover":
+        """Drop cubes wholly contained (inputs and outputs) in another cube."""
+        kept: List[Cube] = []
+        # Larger cubes first so that contained cubes are dropped in one pass.
+        order = sorted(
+            self._cubes, key=lambda c: (-c.minterm_count(), -c.output_count())
+        )
+        for cube in order:
+            if not any(other.contains(cube) for other in kept):
+                kept.append(cube)
+        return Cover(self.num_inputs, self.num_outputs, kept)
+
+    # ----------------------------------------------------------- evaluation
+    def evaluate(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """Evaluate the cover at a fully specified input point.
+
+        Returns one bit per output: 1 when some cube of that output covers
+        the point, else 0.
+        """
+        if len(point) != self.num_inputs:
+            raise CubeError("evaluation point has wrong width")
+        outputs = 0
+        for cube in self._cubes:
+            if self._cube_covers_point(cube, point):
+                outputs |= cube.outputs
+        return tuple((outputs >> o) & 1 for o in range(self.num_outputs))
+
+    @staticmethod
+    def _cube_covers_point(cube: Cube, point: Sequence[int]) -> bool:
+        for var, bit in enumerate(point):
+            field = cube.input_literal(var)
+            if not (field >> bit) & 1:
+                return False
+        return True
+
+    # ---------------------------------------------------- tautology machinery
+    def covers_cube(
+        self,
+        cube: Cube,
+        output: int,
+        budget: Optional[TautologyBudget] = None,
+    ) -> bool:
+        """``True`` if the cover's cubes for ``output`` cover ``cube``'s inputs.
+
+        With a ``budget``, an exhausted check conservatively returns ``False``.
+        """
+        relevant = [c for c in self.cubes_for_output(output)]
+        try:
+            return _cover_contains_cube(relevant, cube, self.num_inputs, budget)
+        except BudgetExceeded:
+            return False
+
+    def is_tautology(self, output: int) -> bool:
+        """``True`` when the cover for ``output`` covers the whole input space."""
+        universal = Cube.universal(self.num_inputs, 1 << output)
+        return self.covers_cube(universal, output)
+
+    def functionally_contains(self, other: "Cover") -> bool:
+        """``True`` if every cube of ``other`` is covered, output by output."""
+        for cube in other:
+            for output in range(self.num_outputs):
+                if cube.outputs >> output & 1 and not self.covers_cube(cube, output):
+                    return False
+        return True
+
+    def functionally_equal(self, other: "Cover", dc: Optional["Cover"] = None) -> bool:
+        """Check mutual containment modulo an optional shared don't-care set."""
+        left = self if dc is None else self.merged_with(dc)
+        right = other if dc is None else other.merged_with(dc)
+        return left.functionally_contains(other) and right.functionally_contains(self)
+
+
+# --------------------------------------------------------------------------
+# Recursive tautology check: does the union of `cubes` contain `target`?
+# --------------------------------------------------------------------------
+
+
+def _cover_contains_cube(
+    cubes: List[Cube], target: Cube, num_inputs: int, budget: Optional[TautologyBudget]
+) -> bool:
+    # Quick win: a single cube already contains the target.
+    for c in cubes:
+        if c.input_contains(target):
+            return True
+    # Cofactor the cover against the target; the containment question becomes
+    # a tautology question on the cofactored cover.
+    cofactored: List[Cube] = []
+    for c in cubes:
+        cf = c.input_cofactor(target)
+        if cf is not None:
+            cofactored.append(cf)
+    free_vars = [v for v in range(num_inputs) if target.input_literal(v) == FULL_FIELD]
+    return _is_tautology(cofactored, free_vars, budget)
+
+
+def _is_tautology(
+    cubes: List[Cube], free_vars: List[int], budget: Optional[TautologyBudget]
+) -> bool:
+    if budget is not None:
+        budget.spend()
+    if not cubes:
+        return False
+    # Any cube that is a don't care on every free variable covers the space.
+    for c in cubes:
+        if all(c.input_literal(v) == FULL_FIELD for v in free_vars):
+            return True
+    if not free_vars:
+        return False
+
+    # Pick the most binate free variable (appears in both polarities most).
+    best_var = None
+    best_score = -1
+    for v in free_vars:
+        zeros = ones = 0
+        for c in cubes:
+            field = c.input_literal(v)
+            if field == 0b01:
+                zeros += 1
+            elif field == 0b10:
+                ones += 1
+        score = min(zeros, ones) * 1000 + zeros + ones
+        if zeros and ones and score > best_score:
+            best_score = score
+            best_var = v
+
+    if best_var is None:
+        # Unate cover: it is a tautology iff it contains the universal cube,
+        # which was already checked above.
+        return False
+
+    remaining = [v for v in free_vars if v != best_var]
+    for polarity_field in (0b01, 0b10):
+        branch: List[Cube] = []
+        for c in cubes:
+            field = c.input_literal(best_var)
+            if field & polarity_field:
+                branch.append(c.with_input(best_var, FULL_FIELD) if field != FULL_FIELD else c)
+        if not _is_tautology(branch, remaining, budget):
+            return False
+    return True

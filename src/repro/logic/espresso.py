@@ -1,0 +1,209 @@
+"""Heuristic two-level minimisation in the style of espresso.
+
+The paper reports the quality of its synthesis results as the number of
+product terms after two-level minimisation ("minimized using standard
+programs").  This module provides that standard program: a heuristic
+multi-output minimiser built from the classic espresso phases
+
+* **EXPAND** — raise input literals of every cube to don't cares and add
+  outputs whenever the enlarged cube stays inside the ON ∪ DC set, then drop
+  cubes contained in other cubes,
+* **IRREDUNDANT** — remove cubes that are covered by the rest of the cover
+  together with the don't-care set,
+* iterated until the cover stops shrinking.
+
+The minimiser never requires the OFF-set: validity of an expansion is decided
+with the recursive tautology check of :mod:`repro.logic.cover`, so it also
+works for functions with many inputs where complementation is infeasible.
+A node budget bounds the effort per check; exhausting the budget only makes
+the result less optimised, never functionally wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .cube import Cube
+from .cover import Cover, TautologyBudget
+
+__all__ = ["MinimizationResult", "minimize", "quick_minimize", "verify_minimization"]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of a two-level minimisation run."""
+
+    cover: Cover
+    initial_terms: int
+    final_terms: int
+    iterations: int
+    method: str
+
+    @property
+    def product_terms(self) -> int:
+        return self.final_terms
+
+    @property
+    def literals(self) -> int:
+        return self.cover.sop_literal_count()
+
+
+def minimize(
+    on_set: Cover,
+    dc_set: Optional[Cover] = None,
+    max_iterations: int = 4,
+    tautology_budget: Optional[int] = 20_000,
+    method: str = "espresso",
+) -> MinimizationResult:
+    """Minimise a multi-output cover.
+
+    Args:
+        on_set: cover of the ON-set.
+        dc_set: optional cover of the don't-care set.
+        max_iterations: maximum number of EXPAND/IRREDUNDANT rounds.
+        tautology_budget: node budget per containment check (``None`` for
+            unlimited effort).
+        method: ``"espresso"`` for the full heuristic loop, ``"quick"`` for
+            the cheap merge-based reduction of :func:`quick_minimize`.
+    """
+    if method == "quick":
+        return quick_minimize(on_set, dc_set)
+    if method != "espresso":
+        raise ValueError(f"unknown minimisation method {method!r}")
+
+    dc = dc_set if dc_set is not None else Cover(on_set.num_inputs, on_set.num_outputs)
+    initial = len(on_set)
+    current = on_set.remove_single_cube_containment()
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        before = len(current)
+        current = _expand(current, dc, tautology_budget)
+        current = current.remove_single_cube_containment()
+        current = _irredundant(current, dc, tautology_budget)
+        if len(current) >= before:
+            break
+    return MinimizationResult(current, initial, len(current), iterations, "espresso")
+
+
+def quick_minimize(on_set: Cover, dc_set: Optional[Cover] = None) -> MinimizationResult:
+    """Cheap minimisation: distance-1 merging plus containment removal.
+
+    Used as a fast fallback for very large covers (for instance the ``tbk``
+    benchmark's synthetic stand-in) where the full heuristic loop would
+    dominate experiment runtime.
+    """
+    initial = len(on_set)
+    current = on_set.remove_single_cube_containment()
+    changed = True
+    while changed:
+        changed = False
+        cubes = list(current.cubes)
+        merged: List[Cube] = []
+        used = [False] * len(cubes)
+        for i in range(len(cubes)):
+            if used[i]:
+                continue
+            for j in range(i + 1, len(cubes)):
+                if used[j]:
+                    continue
+                m = cubes[i].merge_distance_one(cubes[j])
+                if m is not None:
+                    merged.append(m)
+                    used[i] = used[j] = True
+                    changed = True
+                    break
+            if not used[i]:
+                merged.append(cubes[i])
+                used[i] = True
+        current = Cover(current.num_inputs, current.num_outputs, merged)
+        current = current.remove_single_cube_containment()
+    return MinimizationResult(current, initial, len(current), 1, "quick")
+
+
+# ------------------------------------------------------------------ phases
+
+
+def _expand(cover: Cover, dc: Cover, budget_limit: Optional[int]) -> Cover:
+    """EXPAND phase: enlarge each cube as far as the ON ∪ DC set allows."""
+    reference = cover.merged_with(dc)
+    expanded: List[Cube] = []
+    # Expanding small cubes first gives them the chance to swallow large ones.
+    order = sorted(cover.cubes, key=lambda c: (c.minterm_count(), -c.literal_count()))
+    for cube in order:
+        grown = cube
+        # Try to raise every specified input literal to a don't care.
+        for var in cube.specified_vars():
+            candidate = grown.raise_input(var)
+            if _candidate_valid(candidate, reference, budget_limit):
+                grown = candidate
+        # Try to add further outputs to share the product term.
+        for output in range(cover.num_outputs):
+            if grown.outputs >> output & 1:
+                continue
+            candidate = grown.with_outputs(grown.outputs | (1 << output))
+            if _output_valid(candidate, output, reference, budget_limit):
+                grown = candidate
+        expanded.append(grown)
+    return Cover(cover.num_inputs, cover.num_outputs, expanded)
+
+
+def _candidate_valid(candidate: Cube, reference: Cover, budget_limit: Optional[int]) -> bool:
+    """An expansion is valid when every driven output still covers the cube."""
+    for output in range(reference.num_outputs):
+        if candidate.outputs >> output & 1:
+            if not _output_valid(candidate, output, reference, budget_limit):
+                return False
+    return True
+
+
+def _output_valid(candidate: Cube, output: int, reference: Cover, budget_limit: Optional[int]) -> bool:
+    budget = TautologyBudget(budget_limit) if budget_limit is not None else None
+    return reference.covers_cube(candidate, output, budget)
+
+
+def _irredundant(cover: Cover, dc: Cover, budget_limit: Optional[int]) -> Cover:
+    """IRREDUNDANT phase: greedily drop cubes covered by the rest of the cover."""
+    cubes = list(cover.cubes)
+    # Try to drop cubes with many literals (low coverage) first.
+    order = sorted(range(len(cubes)), key=lambda i: (cubes[i].minterm_count(), -cubes[i].literal_count()))
+    removed = [False] * len(cubes)
+    for idx in order:
+        candidate = cubes[idx]
+        rest = Cover(
+            cover.num_inputs,
+            cover.num_outputs,
+            [c for i, c in enumerate(cubes) if i != idx and not removed[i]],
+        ).merged_with(dc)
+        redundant = True
+        for output in range(cover.num_outputs):
+            if candidate.outputs >> output & 1:
+                budget = TautologyBudget(budget_limit) if budget_limit is not None else None
+                if not rest.covers_cube(candidate, output, budget):
+                    redundant = False
+                    break
+        if redundant:
+            removed[idx] = True
+    return Cover(cover.num_inputs, cover.num_outputs, [c for i, c in enumerate(cubes) if not removed[i]])
+
+
+def verify_minimization(
+    original_on: Cover, dc: Optional[Cover], minimized: Cover, samples: Sequence[Sequence[int]]
+) -> bool:
+    """Spot-check functional equivalence of original and minimised covers.
+
+    For every sample input point the minimised cover must agree with the
+    original on all outputs except where the don't-care set covers the point.
+    """
+    dc_cover = dc if dc is not None else Cover(original_on.num_inputs, original_on.num_outputs)
+    for point in samples:
+        before = original_on.evaluate(point)
+        after = minimized.evaluate(point)
+        care_mask = dc_cover.evaluate(point)
+        for o in range(original_on.num_outputs):
+            if care_mask[o]:
+                continue
+            if before[o] != after[o]:
+                return False
+    return True

@@ -1,0 +1,156 @@
+"""Reading and writing espresso-format PLA files.
+
+The minimised two-level covers produced by the synthesis flow correspond
+directly to PLA personality matrices.  This module reads and writes the
+classic Berkeley espresso file format (``.i``/``.o``/``.p``/``.ilb``/``.ob``
+directives followed by one product term per line), so results can be
+exchanged with external two-level tools or inspected by hand.
+
+Only the common "f" and "fd" logic types are handled: output ``1`` puts the
+cube into the ON-set, ``-``/``~``/``2`` into the don't-care set and ``0``
+into the (implicit) OFF-set.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .cover import Cover
+from .cube import Cube, CubeError
+
+__all__ = ["PLAFormatError", "parse_pla", "parse_pla_file", "write_pla", "write_pla_file"]
+
+
+class PLAFormatError(ValueError):
+    """Raised when a PLA description cannot be parsed."""
+
+
+def parse_pla(text: str) -> Tuple[Cover, Cover, List[str], List[str]]:
+    """Parse PLA text into ``(on_set, dc_set, input_names, output_names)``."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    input_names: List[str] = []
+    output_names: List[str] = []
+    rows: List[Tuple[str, str]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = _int_arg(parts, lineno)
+            elif directive == ".o":
+                num_outputs = _int_arg(parts, lineno)
+            elif directive == ".ilb":
+                input_names = parts[1:]
+            elif directive == ".ob":
+                output_names = parts[1:]
+            elif directive in (".p", ".type", ".phase", ".pair"):
+                continue  # informational directives
+            elif directive in (".e", ".end"):
+                break
+            else:
+                raise PLAFormatError(f"line {lineno}: unsupported directive {directive!r}")
+            continue
+        fields = line.split()
+        if len(fields) != 2:
+            raise PLAFormatError(f"line {lineno}: expected 'inputs outputs', got {line!r}")
+        rows.append((fields[0], fields[1]))
+
+    if num_inputs is None or num_outputs is None:
+        raise PLAFormatError("missing .i or .o directive")
+    if not input_names:
+        input_names = [f"x{i}" for i in range(num_inputs)]
+    if not output_names:
+        output_names = [f"f{i}" for i in range(num_outputs)]
+    if len(input_names) != num_inputs or len(output_names) != num_outputs:
+        raise PLAFormatError(".ilb/.ob name count does not match .i/.o")
+
+    on = Cover(num_inputs, num_outputs)
+    dc = Cover(num_inputs, num_outputs)
+    for inputs, outputs in rows:
+        if len(inputs) != num_inputs or len(outputs) != num_outputs:
+            raise PLAFormatError(f"row {inputs} {outputs} does not match declared widths")
+        on_mask = 0
+        dc_mask = 0
+        for i, ch in enumerate(outputs):
+            if ch == "1" or ch == "4":
+                on_mask |= 1 << i
+            elif ch in "-~2":
+                dc_mask |= 1 << i
+            elif ch != "0":
+                raise PLAFormatError(f"invalid output character {ch!r}")
+        try:
+            base = Cube.from_strings(inputs, "")
+        except CubeError as exc:
+            raise PLAFormatError(str(exc)) from exc
+        if on_mask:
+            on.add(base.with_outputs(on_mask))
+        if dc_mask:
+            dc.add(base.with_outputs(dc_mask))
+    return on, dc, input_names, output_names
+
+
+def parse_pla_file(path: Union[str, Path]) -> Tuple[Cover, Cover, List[str], List[str]]:
+    return parse_pla(Path(path).read_text())
+
+
+def write_pla(
+    on_set: Cover,
+    dc_set: Optional[Cover] = None,
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialise ON/DC covers to espresso PLA text (type fd)."""
+    num_inputs = on_set.num_inputs
+    num_outputs = on_set.num_outputs
+    if dc_set is not None and (dc_set.num_inputs, dc_set.num_outputs) != (num_inputs, num_outputs):
+        raise PLAFormatError("ON-set and DC-set dimensions differ")
+
+    lines = [f".i {num_inputs}", f".o {num_outputs}"]
+    if input_names:
+        if len(input_names) != num_inputs:
+            raise PLAFormatError("input name count does not match cover")
+        lines.append(".ilb " + " ".join(input_names))
+    if output_names:
+        if len(output_names) != num_outputs:
+            raise PLAFormatError("output name count does not match cover")
+        lines.append(".ob " + " ".join(output_names))
+    total = len(on_set) + (len(dc_set) if dc_set is not None else 0)
+    lines.append(f".p {total}")
+    lines.append(".type fd")
+
+    for cube in on_set:
+        lines.append(f"{cube.input_string()} {_output_chars(cube, num_outputs, '1')}")
+    if dc_set is not None:
+        for cube in dc_set:
+            lines.append(f"{cube.input_string()} {_output_chars(cube, num_outputs, '-')}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def write_pla_file(
+    path: Union[str, Path],
+    on_set: Cover,
+    dc_set: Optional[Cover] = None,
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+) -> None:
+    Path(path).write_text(write_pla(on_set, dc_set, input_names, output_names))
+
+
+def _output_chars(cube: Cube, num_outputs: int, mark: str) -> str:
+    return "".join(mark if cube.outputs >> o & 1 else "0" for o in range(num_outputs))
+
+
+def _int_arg(parts: List[str], lineno: int) -> int:
+    if len(parts) != 2:
+        raise PLAFormatError(f"line {lineno}: directive needs one integer argument")
+    try:
+        return int(parts[1])
+    except ValueError as exc:
+        raise PLAFormatError(f"line {lineno}: invalid integer {parts[1]!r}") from exc

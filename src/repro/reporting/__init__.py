@@ -1,0 +1,5 @@
+"""Text reporting helpers for experiment results."""
+
+from .tables import format_comparison, format_paper_vs_measured, format_table
+
+__all__ = ["format_comparison", "format_paper_vs_measured", "format_table"]

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print their results in the same tabular shape as the
+paper's Tables 2 and 3, so a reader can put the reproduction next to the
+original.  Only standard-library string formatting is used; the helpers here
+keep the benchmarks free of formatting noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_comparison", "format_paper_vs_measured"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple aligned text table."""
+    columns = len(headers)
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError("row length does not match header length")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of homogeneous dictionaries as a table."""
+    if not rows:
+        return title or ""
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row.get(h, "") for h in headers] for row in rows], title)
+
+
+def format_paper_vs_measured(
+    rows: Sequence[Mapping[str, object]],
+    benchmark_key: str = "benchmark",
+    title: Optional[str] = None,
+) -> str:
+    """Render paper-vs-measured rows, keeping the benchmark column first."""
+    if not rows:
+        return title or ""
+    headers = [benchmark_key] + [k for k in rows[0] if k != benchmark_key]
+    return format_table(headers, [[row.get(h, "") for h in headers] for row in rows], title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm import FSM, Transition, generate_controller, generate_counter
+
+
+@pytest.fixture
+def paper_example_fsm() -> FSM:
+    """The three-state example of Fig. 3 of the paper (states pre-encoded).
+
+    The machine has one input and one output; the state names record the
+    codes used in the figure so the PAT experiments can check which
+    transitions coincide with the LFSR cycle of ``1 + x + x^2``.
+    """
+    transitions = [
+        Transition("0", "A", "A", "0"),
+        Transition("1", "A", "B", "0"),
+        Transition("0", "B", "C", "1"),
+        Transition("1", "B", "A", "0"),
+        Transition("0", "C", "A", "1"),
+        Transition("1", "C", "B", "1"),
+    ]
+    return FSM("fig3", 1, 1, transitions, reset_state="A")
+
+
+@pytest.fixture
+def small_controller() -> FSM:
+    """A deterministic, completely specified 8-state controller."""
+    return generate_controller(
+        "small", num_states=8, num_inputs=3, num_outputs=2, num_transitions=24, seed=11
+    )
+
+
+@pytest.fixture
+def tiny_counter() -> FSM:
+    """A modulo-6 counter with an enable input."""
+    return generate_counter("cnt6", num_states=6, num_outputs=2, seed=3)
+
+
+@pytest.fixture
+def incomplete_fsm() -> FSM:
+    """A small machine with unspecified (state, input) combinations."""
+    transitions = [
+        Transition("00", "idle", "run", "10"),
+        Transition("01", "idle", "idle", "0-"),
+        Transition("1-", "run", "done", "01"),
+        Transition("00", "run", "run", "11"),
+        Transition("--", "done", "idle", "00"),
+    ]
+    return FSM("incomplete", 2, 2, transitions, reset_state="idle")

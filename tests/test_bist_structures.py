@@ -1,0 +1,128 @@
+"""Unit tests for the BIST structure descriptors and excitation derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bist import (
+    BISTStructure,
+    PAPER_TABLE1,
+    derive_excitation,
+    structure_profile,
+)
+from repro.encoding import StateEncoding, natural_encoding
+from repro.lfsr import LFSR, MISR
+
+
+class TestStructureProfiles:
+    def test_all_structures_have_profiles(self):
+        for structure in BISTStructure:
+            profile = structure_profile(structure, 4)
+            assert profile.structure is structure
+            assert profile.register_bits >= 4
+            assert profile.control_signals in (1, 2)
+
+    def test_pst_uses_fewest_register_bits(self):
+        r = 5
+        bits = {s: structure_profile(s, r).register_bits for s in BISTStructure}
+        assert bits[BISTStructure.PST] == min(bits.values())
+        assert bits[BISTStructure.PST] == r
+
+    def test_misr_structures_have_xors_in_path(self):
+        assert structure_profile(BISTStructure.PST, 3).xor_gates_in_system_path == 3
+        assert structure_profile(BISTStructure.SIG, 3).xor_gates_in_system_path == 3
+        assert structure_profile(BISTStructure.DFF, 3).xor_gates_in_system_path == 0
+
+    def test_disjoint_test_mode_flags(self):
+        assert structure_profile(BISTStructure.DFF, 3).disjoint_test_mode
+        assert structure_profile(BISTStructure.PAT, 3).disjoint_test_mode
+        assert not structure_profile(BISTStructure.PST, 3).disjoint_test_mode
+        assert not structure_profile(BISTStructure.SIG, 3).disjoint_test_mode
+
+    def test_pat_has_mode_output(self):
+        assert structure_profile(BISTStructure.PAT, 3).extra_logic_outputs == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            structure_profile(BISTStructure.DFF, 0)
+
+    def test_paper_table1_covers_all_criteria_and_structures(self):
+        assert len(PAPER_TABLE1) == 6
+        for ratings in PAPER_TABLE1.values():
+            assert set(ratings) == set(BISTStructure)
+
+
+class TestDeriveExcitation:
+    @pytest.fixture
+    def encoding(self, paper_example_fsm):
+        return StateEncoding(2, {"A": "01", "B": "10", "C": "11"})
+
+    def test_dff_excitation_is_next_state_code(self, paper_example_fsm, encoding):
+        table = derive_excitation(paper_example_fsm, encoding, BISTStructure.DFF)
+        assert table.register is None
+        # Transition A --1--> B: outputs 0, excitation = code(B) = 10.
+        row = next(r for r in table.table.rows if r.inputs == "1" + "01")
+        assert row.outputs == "0" + "10"
+
+    def test_pst_excitation_uses_misr_identity(self, paper_example_fsm, encoding):
+        register = LFSR(2, 0b111)
+        table = derive_excitation(
+            paper_example_fsm, encoding, BISTStructure.PST, register=register
+        )
+        misr = MISR(register)
+        row = next(r for r in table.table.rows if r.inputs == "1" + "01")
+        expected = misr.excitation_for_transition("01", "10")
+        assert row.outputs == "0" + expected
+
+    def test_pat_autonomous_transitions_become_dont_cares(self, paper_example_fsm, encoding):
+        register = LFSR(2, 0b111)
+        table = derive_excitation(
+            paper_example_fsm, encoding, BISTStructure.PAT, register=register
+        )
+        assert table.mode_output is not None
+        assert table.autonomous_transitions >= 2
+        # Transition A --1--> B maps onto the LFSR step 01 -> 10: y bits free.
+        row = next(r for r in table.table.rows if r.inputs == "1" + "01")
+        assert row.outputs == "0" + "--" + "0"
+
+    def test_pat_loaded_transition_sets_mode(self, paper_example_fsm, encoding):
+        register = LFSR(2, 0b111)
+        table = derive_excitation(
+            paper_example_fsm, encoding, BISTStructure.PAT, register=register
+        )
+        # Transition A --0--> A (self-loop) is not an LFSR step: Mode must be 1.
+        row = next(r for r in table.table.rows if r.inputs == "0" + "01")
+        assert row.outputs.endswith("1")
+        assert row.outputs[1:3] == "01"
+
+    def test_unused_codes_are_dont_cares(self, paper_example_fsm, encoding):
+        table = derive_excitation(paper_example_fsm, encoding, BISTStructure.DFF)
+        dc_rows = [r for r in table.table.rows if set(r.outputs) == {"-"}]
+        assert any(r.inputs.endswith("00") for r in dc_rows)
+
+    def test_signal_names_and_dimensions(self, paper_example_fsm, encoding):
+        table = derive_excitation(paper_example_fsm, encoding, BISTStructure.SIG)
+        assert table.input_names == ("in0", "s1", "s2")
+        assert table.output_names == ("out0", "y1", "y2")
+        assert table.on_set.num_inputs == 3
+        assert table.on_set.num_outputs == 3
+        assert table.state_bits == 2
+
+    def test_encoding_must_cover_fsm(self, paper_example_fsm):
+        partial = StateEncoding(2, {"A": "00"})
+        with pytest.raises(Exception):
+            derive_excitation(paper_example_fsm, partial, BISTStructure.DFF)
+
+    def test_register_width_checked(self, paper_example_fsm, encoding):
+        with pytest.raises(ValueError):
+            derive_excitation(
+                paper_example_fsm,
+                encoding,
+                BISTStructure.PST,
+                register=LFSR.with_primitive_polynomial(4),
+            )
+
+    def test_incomplete_machine_gets_dc_rows(self, incomplete_fsm):
+        encoding = natural_encoding(incomplete_fsm)
+        table = derive_excitation(incomplete_fsm, encoding, BISTStructure.DFF)
+        assert len(table.dc_set) > 0

@@ -1,0 +1,121 @@
+"""Unit tests for the synthesis flow and the structure comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bist import (
+    BISTStructure,
+    SynthesisOptions,
+    compare_structures,
+    synthesize,
+    synthesize_all_structures,
+)
+from repro.encoding import natural_encoding
+
+
+class TestSynthesize:
+    @pytest.mark.parametrize("structure", list(BISTStructure))
+    def test_all_structures_synthesise(self, small_controller, structure):
+        controller = synthesize(small_controller, structure)
+        assert controller.structure is structure
+        assert controller.product_terms > 0
+        assert controller.sop_literals > 0
+        assert controller.encoding.width == small_controller.min_code_bits
+        if structure is BISTStructure.DFF:
+            assert controller.register is None
+        else:
+            assert controller.register is not None
+            assert controller.register.is_maximal_length
+
+    def test_minimisation_reduces_terms(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.DFF)
+        assert controller.product_terms <= controller.minimization.initial_terms
+
+    def test_caller_provided_encoding_used(self, small_controller):
+        encoding = natural_encoding(small_controller)
+        controller = synthesize(small_controller, BISTStructure.DFF, encoding=encoding)
+        assert controller.encoding.codes == encoding.codes
+        assert controller.assignment_report["assignment"] == "caller-provided"
+
+    def test_assignment_reports(self, small_controller):
+        dff = synthesize(small_controller, BISTStructure.DFF)
+        assert dff.assignment_report["assignment"] == "mustang"
+        pat = synthesize(small_controller, BISTStructure.PAT)
+        assert pat.assignment_report["assignment"] == "pat"
+        assert pat.assignment_report["covered_transitions"] >= 0
+        pst = synthesize(small_controller, BISTStructure.PST)
+        assert pst.assignment_report["assignment"] == "misr"
+        assert "column_costs" in pst.assignment_report
+
+    def test_pat_exploits_autonomous_transitions(self, tiny_counter):
+        controller = synthesize(tiny_counter, BISTStructure.PAT)
+        assert controller.excitation.autonomous_transitions > 0
+
+    def test_summary_keys(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        summary = controller.summary()
+        assert summary["fsm"] == small_controller.name
+        assert summary["structure"] == "PST"
+        assert summary["product_terms"] == controller.product_terms
+
+    def test_multilevel_literals_at_most_sop_product(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.DFF)
+        assert controller.multilevel_literals() > 0
+
+    def test_quick_method_option(self, small_controller):
+        options = SynthesisOptions(minimize_method="quick")
+        controller = synthesize(small_controller, BISTStructure.DFF, options=options)
+        assert controller.minimization.method == "quick"
+
+    def test_wider_encoding_option(self, small_controller):
+        options = SynthesisOptions(width=4)
+        controller = synthesize(small_controller, BISTStructure.PST, options=options)
+        assert controller.encoding.width == 4
+
+    def test_profile_access(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        assert controller.profile.register_bits == controller.encoding.width
+
+
+class TestSynthesizeAllStructures:
+    def test_default_structures(self, small_controller):
+        results = synthesize_all_structures(small_controller)
+        assert set(results) == {BISTStructure.PST, BISTStructure.DFF, BISTStructure.PAT}
+        for structure, controller in results.items():
+            assert controller.structure is structure
+
+    def test_pat_never_worse_than_dff_by_much(self, small_controller):
+        results = synthesize_all_structures(small_controller)
+        # PAT gets the DFF logic plus don't cares, so it should not be larger
+        # by more than a small margin (different assignments add noise).
+        assert results[BISTStructure.PAT].product_terms <= results[BISTStructure.DFF].product_terms + 3
+
+
+class TestCompareStructures:
+    def test_comparison_contains_all_metrics(self, small_controller):
+        comparison = compare_structures(
+            small_controller, structures=(BISTStructure.DFF, BISTStructure.PST)
+        )
+        assert comparison.fsm_name == small_controller.name
+        assert len(comparison.metrics) == 2
+        dff = comparison.metric_for(BISTStructure.DFF)
+        pst = comparison.metric_for(BISTStructure.PST)
+        assert dff.register_bits > pst.register_bits
+        assert pst.control_signals <= dff.control_signals
+        assert pst.at_speed_dynamic_fault_test and not dff.at_speed_dynamic_fault_test
+
+    def test_unknown_structure_lookup(self, small_controller):
+        comparison = compare_structures(small_controller, structures=(BISTStructure.DFF,))
+        with pytest.raises(KeyError):
+            comparison.metric_for(BISTStructure.PST)
+
+    def test_rows_and_ratings(self, small_controller):
+        comparison = compare_structures(
+            small_controller, structures=(BISTStructure.DFF, BISTStructure.PST)
+        )
+        rows = comparison.as_rows()
+        assert len(rows) == 2
+        assert {row["structure"] for row in rows} == {"DFF", "PST"}
+        ratings = comparison.qualitative_ratings()
+        assert "storage elements" in ratings

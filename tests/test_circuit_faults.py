@@ -1,0 +1,127 @@
+"""Unit tests for fault enumeration, fault simulation and self-test sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bist import BISTStructure, synthesize
+from repro.circuit import (
+    FaultSimulator,
+    Netlist,
+    StuckAtFault,
+    compare_test_lengths,
+    enumerate_faults,
+    netlist_from_controller,
+    simulate_conventional_self_test,
+    simulate_parallel_self_test,
+    patterns_for_coverage,
+)
+
+
+def _and_gate_netlist() -> Netlist:
+    net = Netlist("and2")
+    net.add_primary_input("a")
+    net.add_primary_input("b")
+    net.add_gate("z", "AND", ["a", "b"])
+    net.mark_output("z")
+    return net
+
+
+class TestEnumerateFaults:
+    def test_stem_faults_for_every_signal(self):
+        net = _and_gate_netlist()
+        faults = enumerate_faults(net, include_branches=False)
+        assert len(faults) == 2 * 3  # a, b, z each stuck-at-0/1
+
+    def test_branch_faults_only_on_fanout(self):
+        net = _and_gate_netlist()
+        net.add_gate("w", "NOT", ["a"])  # a now fans out to two gates
+        net.mark_output("w")
+        faults = enumerate_faults(net, include_branches=True)
+        branch_faults = [f for f in faults if f.gate_input is not None]
+        assert branch_faults
+        assert all(f.signal == "a" for f in branch_faults)
+
+    def test_describe(self):
+        fault = StuckAtFault("z", 1)
+        assert fault.describe() == "z stuck-at-1"
+        branch = StuckAtFault("a", 0, gate_input="z")
+        assert "a->z" in branch.describe()
+
+
+class TestFaultSimulator:
+    def test_and_gate_faults_detected(self):
+        net = _and_gate_netlist()
+        simulator = FaultSimulator(net, word_width=1)
+        # Exhaustive input sequence detects every stuck-at fault of an AND gate.
+        sequence = [{"a": 1, "b": 1}, {"a": 0, "b": 1}, {"a": 1, "b": 0}]
+        result = simulator.run(sequence)
+        assert result.coverage == pytest.approx(1.0)
+
+    def test_undetected_fault_reported(self):
+        net = _and_gate_netlist()
+        simulator = FaultSimulator(net, word_width=1)
+        # Only applying a=b=0 cannot detect z stuck-at-0.
+        result = simulator.run([{"a": 0, "b": 0}], stop_when_all_detected=False)
+        assert result.coverage < 1.0
+        assert "z stuck-at-0" not in result.detected
+
+    def test_detection_cycles_recorded(self):
+        net = _and_gate_netlist()
+        simulator = FaultSimulator(net, word_width=1)
+        result = simulator.run([{"a": 1, "b": 1}, {"a": 0, "b": 1}])
+        assert result.detection_cycle["z stuck-at-0"] == 1
+
+    def test_coverage_curve_monotone(self):
+        net = _and_gate_netlist()
+        simulator = FaultSimulator(net, word_width=1)
+        result = simulator.run(
+            [{"a": 1, "b": 1}, {"a": 0, "b": 1}, {"a": 1, "b": 0}],
+            stop_when_all_detected=False,
+        )
+        curve = result.coverage_curve()
+        assert all(b[1] >= a[1] for a, b in zip(curve, curve[1:]))
+        assert curve[-1][1] == result.coverage
+
+    def test_sequential_fault_propagation(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.DFF)
+        net = netlist_from_controller(controller)
+        simulator = FaultSimulator(net, word_width=1)
+        result = simulator.coverage_for_random_patterns(64, seed=3)
+        assert 0.0 < result.coverage <= 1.0
+
+
+class TestSelfTest:
+    def test_parallel_self_test_runs(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        result = simulate_parallel_self_test(controller, max_patterns=48, seed=1)
+        assert result.structure is BISTStructure.PST
+        assert result.patterns_applied == 48
+        assert 0.0 < result.fault_coverage <= 1.0
+        assert result.signature is not None
+        assert len(result.signature) == controller.encoding.width
+
+    def test_conventional_self_test_runs(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.DFF)
+        result = simulate_conventional_self_test(controller, max_patterns=48, seed=1)
+        assert result.structure is BISTStructure.DFF
+        assert 0.0 < result.fault_coverage <= 1.0
+        assert result.signature is None
+
+    def test_patterns_for_coverage(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        result = simulate_parallel_self_test(controller, max_patterns=64, seed=0)
+        length = patterns_for_coverage(result, 0.5)
+        if length is not None:
+            assert 1 <= length <= 64
+        assert patterns_for_coverage(result, 1.1) is None
+
+    def test_compare_test_lengths_summary(self, small_controller):
+        pst_controller = synthesize(small_controller, BISTStructure.PST)
+        dff_controller = synthesize(small_controller, BISTStructure.DFF)
+        pst = simulate_parallel_self_test(pst_controller, max_patterns=64, seed=2)
+        dff = simulate_conventional_self_test(dff_controller, max_patterns=64, seed=2)
+        summary = compare_test_lengths(pst, dff, target=0.5)
+        assert summary["target_coverage"] == 0.5
+        assert "ratio" in summary
+        assert summary["pst_final_coverage"] == pytest.approx(pst.fault_coverage)

@@ -1,0 +1,166 @@
+"""Unit tests for gate-level netlists and the logic simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bist import BISTStructure, synthesize
+from repro.circuit import LogicSimulator, Netlist, netlist_from_controller, netlist_from_cover
+from repro.logic import Cover, Cube
+
+
+def _cover(num_inputs, num_outputs, rows):
+    cover = Cover(num_inputs, num_outputs)
+    for inputs, outputs in rows:
+        cover.add(Cube.from_strings(inputs, outputs))
+    return cover
+
+
+class TestNetlistConstruction:
+    def test_duplicate_signal_rejected(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        with pytest.raises(ValueError):
+            net.add_primary_input("a")
+
+    def test_gate_arity_checks(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        with pytest.raises(ValueError):
+            net.add_gate("bad", "NOT", ["a", "a"])
+        with pytest.raises(ValueError):
+            net.add_gate("bad", "AND", [])
+        with pytest.raises(ValueError):
+            net.add_gate("bad", "FROB", ["a"])
+
+    def test_unknown_signal_reference(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        net.add_gate("z", "NOT", ["ghost"])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_cycle_detection(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        net.add_gate("x", "AND", ["a", "y"])
+        net.add_gate("y", "AND", ["a", "x"])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_mark_output_unknown(self):
+        net = Netlist("n")
+        with pytest.raises(ValueError):
+            net.mark_output("nope")
+
+    def test_gate_count_excludes_pseudo_inputs(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        net.add_flip_flop("s", "d")
+        net.add_gate("d", "NOT", ["a"])
+        assert net.gate_count() == 1
+        assert net.state_signals == ["s"]
+
+
+class TestNetlistFromCover:
+    def test_and_or_planes(self):
+        cover = _cover(2, 1, [("1-", "1"), ("01", "1")])
+        net = netlist_from_cover(cover, ["a", "b"], ["z"])
+        net.mark_output("z")
+        net.validate()
+        sim = LogicSimulator(net, word_width=1)
+        for a in (0, 1):
+            for b in (0, 1):
+                values = sim.evaluate({"a": a, "b": b}, {})
+                expected = cover.evaluate((a, b))[0]
+                assert values["z"] == expected
+
+    def test_empty_output_is_constant_zero(self):
+        cover = _cover(2, 2, [("1-", "10")])
+        net = netlist_from_cover(cover, ["a", "b"], ["y", "z"])
+        sim = LogicSimulator(net, word_width=1)
+        assert sim.evaluate({"a": 1, "b": 1}, {})["z"] == 0
+
+    def test_constant_one_product(self):
+        cover = _cover(2, 1, [("--", "1")])
+        net = netlist_from_cover(cover, ["a", "b"], ["z"])
+        sim = LogicSimulator(net, word_width=1)
+        assert sim.evaluate({"a": 0, "b": 0}, {})["z"] == 1
+
+    def test_name_mismatch_rejected(self):
+        cover = _cover(2, 1, [("1-", "1")])
+        with pytest.raises(ValueError):
+            netlist_from_cover(cover, ["a"], ["z"])
+
+
+class TestNetlistFromController:
+    @pytest.mark.parametrize("structure", list(BISTStructure))
+    def test_netlists_validate(self, small_controller, structure):
+        controller = synthesize(small_controller, structure)
+        net = netlist_from_controller(controller)
+        net.validate()
+        assert len(net.flip_flops) == controller.encoding.width
+        assert len(net.primary_outputs) == small_controller.num_outputs
+
+    def test_misr_structure_contains_xor_gates(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        net = netlist_from_controller(controller)
+        assert net.xor_gate_count() >= controller.encoding.width
+
+    def test_dff_structure_has_no_xor_gates(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.DFF)
+        net = netlist_from_controller(controller)
+        assert net.xor_gate_count() == 0
+
+    def test_reset_state_loaded(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.DFF)
+        net = netlist_from_controller(controller)
+        reset_code = controller.encoding.code_of(small_controller.reset_state)
+        sim = LogicSimulator(net, word_width=1)
+        state = sim.reset_state()
+        observed = "".join(str(state[s] & 1) for s in net.state_signals)
+        assert observed == reset_code
+
+
+class TestLogicSimulator:
+    def test_word_parallel_evaluation(self):
+        cover = _cover(2, 1, [("11", "1")])
+        net = netlist_from_cover(cover, ["a", "b"], ["z"])
+        sim = LogicSimulator(net, word_width=4)
+        # lanes: a = 0011, b = 0101 -> z = a & b = 0001
+        values = sim.evaluate({"a": 0b0011, "b": 0b0101}, {})
+        assert values["z"] == 0b0001
+
+    def test_not_gate_masked(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        net.add_gate("z", "NOT", ["a"])
+        sim = LogicSimulator(net, word_width=4)
+        assert sim.evaluate({"a": 0b0101}, {})["z"] == 0b1010
+
+    def test_step_advances_state(self):
+        net = Netlist("toggler")
+        net.add_flip_flop("s", "d")
+        net.add_gate("d", "NOT", ["s"])
+        net.mark_output("s")
+        sim = LogicSimulator(net, word_width=1)
+        state = sim.reset_state()
+        _, state = sim.step({}, state)
+        assert state["s"] == 1
+        _, state = sim.step({}, state)
+        assert state["s"] == 0
+
+    def test_run_traces_observed_signals(self):
+        net = Netlist("toggler")
+        net.add_flip_flop("s", "d")
+        net.add_gate("d", "NOT", ["s"])
+        net.mark_output("s")
+        sim = LogicSimulator(net, word_width=1)
+        trace = sim.run([{}, {}, {}])
+        assert [t["s"] for t in trace] == [1, 0, 1]
+
+    def test_invalid_word_width(self):
+        net = Netlist("n")
+        net.add_primary_input("a")
+        with pytest.raises(ValueError):
+            LogicSimulator(net, word_width=0)

@@ -1,0 +1,76 @@
+"""Unit tests for the structural Verilog writer."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.bist import BISTStructure, synthesize
+from repro.circuit import Netlist, controller_to_verilog, netlist_to_verilog
+
+
+class TestNetlistToVerilog:
+    def test_small_combinational_module(self):
+        net = Netlist("demo")
+        net.add_primary_input("a")
+        net.add_primary_input("b")
+        net.add_gate("n_a", "NOT", ["a"])
+        net.add_gate("z", "AND", ["n_a", "b"])
+        net.mark_output("z")
+        text = netlist_to_verilog(net)
+        assert text.startswith("module demo (")
+        assert "input a;" in text
+        assert "output z;" in text
+        assert "assign z = n_a & b;" in text
+        assert "assign n_a = ~a;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_sequential_module_has_clocked_block(self):
+        net = Netlist("toggler")
+        net.add_flip_flop("s", "d", reset_value=1)
+        net.add_gate("d", "NOT", ["s"])
+        net.mark_output("s")
+        text = netlist_to_verilog(net)
+        assert "always @(posedge clk)" in text
+        assert "s <= 1'b1;" in text  # reset value
+        assert "s <= d;" in text
+
+    def test_module_name_override_and_escaping(self):
+        net = Netlist("weird name!")
+        net.add_primary_input("a")
+        net.add_gate("z", "BUF", ["a"])
+        net.mark_output("z")
+        text = netlist_to_verilog(net, module_name="my top")
+        assert "module my_top (" in text
+
+    def test_constants(self):
+        net = Netlist("const")
+        net.add_gate("zero", "CONST0")
+        net.add_gate("one", "CONST1")
+        net.mark_output("zero")
+        net.mark_output("one")
+        text = netlist_to_verilog(net)
+        assert "assign zero = 1'b0;" in text
+        assert "assign one = 1'b1;" in text
+
+
+class TestControllerToVerilog:
+    @pytest.mark.parametrize("structure", [BISTStructure.DFF, BISTStructure.PST, BISTStructure.PAT])
+    def test_controller_modules_well_formed(self, small_controller, structure):
+        controller = synthesize(small_controller, structure)
+        text = controller_to_verilog(controller)
+        assert text.count("module ") == 1
+        assert text.count("endmodule") == 1
+        # All primary inputs and outputs appear as ports.
+        for i in range(small_controller.num_inputs):
+            assert re.search(rf"\binput in{i};", text)
+        for o in range(small_controller.num_outputs):
+            assert re.search(rf"\boutput out{o};", text)
+        # One register assignment per state variable.
+        assert text.count("<=") >= 2 * controller.encoding.width
+
+    def test_pst_module_contains_xor_network(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        text = controller_to_verilog(controller)
+        assert " ^ " in text

@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fsm import write_kiss_file
+
+
+@pytest.fixture
+def kiss_path(tmp_path, small_controller) -> Path:
+    path = tmp_path / "controller.kiss2"
+    write_kiss_file(small_controller, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self, kiss_path):
+        args = build_parser().parse_args(["synthesize", str(kiss_path)])
+        assert args.structure == "PST"
+        assert args.width is None
+
+    def test_unknown_structure_rejected(self, kiss_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize", str(kiss_path), "--structure", "JK"])
+
+
+class TestSynthesizeCommand:
+    def test_basic_run(self, kiss_path, capsys):
+        exit_code = main(["synthesize", str(kiss_path), "--structure", "DFF"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Synthesis result" in out
+        assert "product terms" in out
+        assert "State assignment:" in out
+
+    def test_writes_pla_and_verilog(self, kiss_path, tmp_path, capsys):
+        pla = tmp_path / "logic.pla"
+        verilog = tmp_path / "controller.v"
+        exit_code = main([
+            "synthesize", str(kiss_path),
+            "--structure", "PST",
+            "--pla-out", str(pla),
+            "--verilog-out", str(verilog),
+        ])
+        assert exit_code == 0
+        assert pla.exists() and ".i " in pla.read_text()
+        assert verilog.exists() and "module" in verilog.read_text()
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_structures(self, kiss_path, capsys):
+        exit_code = main(["compare", str(kiss_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for structure in ("DFF", "PAT", "SIG", "PST"):
+            assert structure in out
+
+
+class TestBenchmarksCommand:
+    def test_small_sweep(self, capsys):
+        exit_code = main(["benchmarks", "--names", "dk512", "--trials", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "dk512" in out
+
+
+class TestValidateCommand:
+    def test_valid_machine(self, kiss_path, capsys):
+        exit_code = main(["validate", str(kiss_path)])
+        assert exit_code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_machine(self, tmp_path, capsys):
+        text = ".i 1\n.o 1\n.r a\n- a b 0\n1 a a 1\n- b a 0\n.e\n"
+        path = tmp_path / "bad.kiss2"
+        path.write_text(text)
+        exit_code = main(["validate", str(path)])
+        assert exit_code == 1
+        assert "ERRORS" in capsys.readouterr().out

@@ -1,0 +1,178 @@
+"""Unit tests for the state-assignment algorithms (random, MUSTANG, PAT, MISR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding import (
+    PATAssignmentResult,
+    RandomSearchResult,
+    affinity_weights,
+    assign_misr_states,
+    assign_mustang,
+    assign_pat,
+    covered_transitions,
+    random_encoding,
+    random_search,
+)
+from repro.encoding.cost import estimate_product_terms
+from repro.lfsr import LFSR
+
+
+class TestRandomEncoding:
+    def test_injective_and_full_width(self, small_controller):
+        enc = random_encoding(small_controller, seed=1)
+        codes = [enc.code_of(s) for s in small_controller.states]
+        assert len(set(codes)) == len(codes)
+        assert enc.width == small_controller.min_code_bits
+
+    def test_seed_reproducibility(self, small_controller):
+        assert random_encoding(small_controller, seed=3).codes == random_encoding(
+            small_controller, seed=3
+        ).codes
+
+    def test_width_too_small(self, small_controller):
+        with pytest.raises(ValueError):
+            random_encoding(small_controller, width=2)
+
+    def test_random_search_statistics(self, small_controller):
+        def cost(enc):
+            return sum(int(enc.code_of(s), 2) for s in small_controller.states)
+
+        result = random_search(small_controller, cost, trials=5, seed=0)
+        assert isinstance(result, RandomSearchResult)
+        assert result.trials == 5
+        assert result.best_cost == min(result.costs)
+        assert result.best_cost <= result.average_cost
+
+    def test_random_search_requires_trials(self, small_controller):
+        with pytest.raises(ValueError):
+            random_search(small_controller, lambda e: 0, trials=0)
+
+
+class TestMustang:
+    def test_affinity_weights_symmetric_keys(self, small_controller):
+        weights = affinity_weights(small_controller)
+        for (a, b), w in weights.items():
+            assert a < b
+            assert w > 0
+
+    def test_assignment_valid(self, small_controller):
+        result = assign_mustang(small_controller)
+        enc = result.encoding
+        assert enc.width == small_controller.min_code_bits
+        assert set(enc.states()) == set(small_controller.states)
+
+    def test_strong_pair_gets_adjacent_codes(self):
+        from repro.fsm import FSM, Transition
+
+        fsm = FSM(
+            "aff",
+            1,
+            1,
+            [
+                Transition("0", "a", "c", "1"),
+                Transition("1", "a", "c", "1"),
+                Transition("0", "b", "c", "1"),
+                Transition("1", "b", "c", "1"),
+                Transition("-", "c", "d", "0"),
+                Transition("-", "d", "a", "0"),
+            ],
+        )
+        result = assign_mustang(fsm)
+        enc = result.encoding
+        distance = sum(1 for x, y in zip(enc.code_of("a"), enc.code_of("b")) if x != y)
+        assert distance == 1
+
+    def test_width_override(self, small_controller):
+        result = assign_mustang(small_controller, width=4)
+        assert result.encoding.width == 4
+
+    def test_width_too_small(self, small_controller):
+        with pytest.raises(ValueError):
+            assign_mustang(small_controller, width=2)
+
+
+class TestPAT:
+    def test_assignment_valid(self, small_controller):
+        result = assign_pat(small_controller)
+        assert isinstance(result, PATAssignmentResult)
+        enc = result.encoding
+        assert set(enc.states()) == set(small_controller.states)
+        assert result.total > 0
+        assert 0 <= result.covered <= result.total
+        assert result.coverage_ratio == pytest.approx(result.covered / result.total)
+
+    def test_covered_transitions_definition(self, small_controller):
+        result = assign_pat(small_controller)
+        covered, total = covered_transitions(small_controller, result.encoding, result.lfsr)
+        assert (covered, total) == (result.covered, result.total)
+
+    def test_covers_some_transitions(self, tiny_counter):
+        # A counter is the ideal case: its single chain can ride the LFSR cycle.
+        result = assign_pat(tiny_counter)
+        assert result.covered >= tiny_counter.num_states - 1
+
+    def test_custom_register_width_checked(self, small_controller):
+        with pytest.raises(ValueError):
+            assign_pat(small_controller, lfsr=LFSR.with_primitive_polynomial(5))
+
+    def test_fig3_example_coverage(self, paper_example_fsm):
+        result = assign_pat(paper_example_fsm, lfsr=LFSR(2, 0b111))
+        # The Fig. 3 FSM contains a cycle A->B->C->A that matches the LFSR
+        # cycle, so at least two transitions must be realised autonomously.
+        assert result.covered >= 2
+
+
+class TestMISRAssignment:
+    def test_assignment_valid(self, small_controller):
+        result = assign_misr_states(small_controller, seed=1)
+        enc = result.encoding
+        assert set(enc.states()) == set(small_controller.states)
+        assert enc.width == small_controller.min_code_bits
+        assert result.lfsr.is_maximal_length
+        assert result.estimated_product_terms > 0
+        assert result.partial_assignments_explored > 0
+        assert len(result.column_costs) == enc.width
+
+    def test_column_costs_monotone(self, small_controller):
+        result = assign_misr_states(small_controller, seed=2)
+        costs = list(result.column_costs)
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_beats_average_random_encoding(self, small_controller):
+        result = assign_misr_states(small_controller, seed=0)
+        heuristic = estimate_product_terms(
+            small_controller, result.encoding, result.lfsr, "pst"
+        )
+        random_estimates = []
+        for seed in range(8):
+            enc = random_encoding(small_controller, seed=seed)
+            random_estimates.append(
+                estimate_product_terms(small_controller, enc, result.lfsr, "pst")
+            )
+        assert heuristic <= sum(random_estimates) / len(random_estimates)
+
+    def test_width_too_small(self, small_controller):
+        with pytest.raises(ValueError):
+            assign_misr_states(small_controller, width=2)
+
+    def test_invalid_parameters(self, small_controller):
+        with pytest.raises(ValueError):
+            assign_misr_states(small_controller, beam_width=0)
+        with pytest.raises(ValueError):
+            assign_misr_states(small_controller, partitions_per_column=0)
+
+    def test_refinement_can_be_disabled(self, small_controller):
+        result = assign_misr_states(small_controller, refinement_passes=0, seed=1)
+        assert result.refinement_moves == 0
+
+    def test_reproducible_for_fixed_seed(self, small_controller):
+        a = assign_misr_states(small_controller, seed=5)
+        b = assign_misr_states(small_controller, seed=5)
+        assert a.encoding.codes == b.encoding.codes
+        assert a.lfsr.polynomial == b.lfsr.polynomial
+
+    def test_wider_than_minimum_code(self, paper_example_fsm):
+        result = assign_misr_states(paper_example_fsm, width=3, seed=0)
+        assert result.encoding.width == 3

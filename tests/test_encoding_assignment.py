@@ -1,0 +1,93 @@
+"""Unit tests for state encodings and the simple reference encodings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding import EncodingError, StateEncoding, gray_encoding, natural_encoding
+
+
+class TestStateEncoding:
+    def test_valid_encoding(self):
+        enc = StateEncoding(2, {"a": "00", "b": "01", "c": "10"})
+        assert enc.code_of("a") == "00"
+        assert enc.state_of("01") == "b"
+        assert enc.state_of("11") is None
+
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(2, {"a": "00", "b": "00"})
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(2, {"a": "000"})
+
+    def test_non_binary_code_rejected(self):
+        with pytest.raises(EncodingError):
+            StateEncoding(2, {"a": "0x"})
+
+    def test_unknown_state_lookup(self):
+        enc = StateEncoding(1, {"a": "0"})
+        with pytest.raises(EncodingError):
+            enc.code_of("zzz")
+
+    def test_unused_codes(self):
+        enc = StateEncoding(2, {"a": "00", "b": "11"})
+        assert sorted(enc.unused_codes()) == ["01", "10"]
+
+    def test_column(self):
+        enc = StateEncoding(2, {"a": "01", "b": "10"})
+        assert enc.column(0) == {"a": "0", "b": "1"}
+        assert enc.column(1) == {"a": "1", "b": "0"}
+        with pytest.raises(EncodingError):
+            enc.column(2)
+
+    def test_as_int_codes(self):
+        enc = StateEncoding(3, {"a": "101"})
+        assert enc.as_int_codes() == {"a": 5}
+
+    def test_covers_and_validate(self, paper_example_fsm):
+        enc = StateEncoding(2, {"A": "00", "B": "01", "C": "10"})
+        assert enc.covers_fsm(paper_example_fsm)
+        enc.validate_for(paper_example_fsm)
+        partial = StateEncoding(2, {"A": "00"})
+        assert not partial.covers_fsm(paper_example_fsm)
+        with pytest.raises(EncodingError):
+            partial.validate_for(paper_example_fsm)
+
+    def test_renamed(self):
+        enc = StateEncoding(1, {"a": "0", "b": "1"})
+        renamed = enc.renamed({"a": "x"})
+        assert renamed.code_of("x") == "0"
+        assert renamed.code_of("b") == "1"
+
+
+class TestReferenceEncodings:
+    def test_natural_encoding(self, paper_example_fsm):
+        enc = natural_encoding(paper_example_fsm)
+        assert enc.width == 2
+        assert enc.code_of("A") == "00"
+        assert enc.code_of("B") == "01"
+        assert enc.code_of("C") == "10"
+
+    def test_natural_encoding_custom_width(self, paper_example_fsm):
+        enc = natural_encoding(paper_example_fsm, width=4)
+        assert enc.width == 4
+
+    def test_natural_encoding_width_too_small(self, small_controller):
+        with pytest.raises(EncodingError):
+            natural_encoding(small_controller, width=2)
+
+    def test_gray_encoding_adjacent_codes(self, small_controller):
+        enc = gray_encoding(small_controller)
+        states = list(small_controller.states)
+        for a, b in zip(states, states[1:]):
+            distance = sum(
+                1 for x, y in zip(enc.code_of(a), enc.code_of(b)) if x != y
+            )
+            assert distance == 1
+
+    def test_gray_encoding_injective(self, small_controller):
+        enc = gray_encoding(small_controller)
+        codes = [enc.code_of(s) for s in small_controller.states]
+        assert len(set(codes)) == len(codes)

@@ -1,0 +1,111 @@
+"""Unit tests for the state-assignment cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding import (
+    StateEncoding,
+    encoding_cost,
+    face_contains_foreign_state,
+    group_face,
+    input_incompatibility,
+    natural_encoding,
+    output_incompatibility,
+)
+from repro.encoding.cost import estimate_product_terms, first_column_incompatibility
+from repro.lfsr import LFSR
+from repro.logic import symbolic_minimize
+
+
+class TestGroupFace:
+    def test_face_of_identical_prefixes(self):
+        prefixes = {"a": "01", "b": "01", "c": "11"}
+        assert group_face(["a", "b"], prefixes) == "01"
+
+    def test_face_with_differing_column(self):
+        prefixes = {"a": "00", "b": "01"}
+        assert group_face(["a", "b"], prefixes) == "0-"
+
+    def test_empty_group(self):
+        assert group_face([], {"a": "0"}) == ""
+
+    def test_foreign_state_detection(self):
+        prefixes = {"a": "00", "b": "01", "c": "0"}
+        face = group_face(["a", "b"], prefixes)
+        # c has prefix "0" and matches the face "0-" in its assigned column.
+        assert face_contains_foreign_state(face, ["a", "b"], {"a": "00", "b": "01", "c": "00"})
+
+    def test_no_foreign_state(self):
+        prefixes = {"a": "00", "b": "01", "c": "11"}
+        face = group_face(["a", "b"], prefixes)
+        assert not face_contains_foreign_state(face, ["a", "b"], prefixes)
+
+
+class TestIncompatibilities:
+    def test_input_incompatibility_counts_split_groups(self, small_controller):
+        implicants = symbolic_minimize(small_controller)
+        # With an empty partial assignment nothing can be split yet.
+        empty = {s: "" for s in small_controller.states}
+        assert input_incompatibility(implicants, empty) == 0
+
+    def test_output_incompatibility_column_zero_is_free_for_misr(self, small_controller):
+        implicants = symbolic_minimize(small_controller)
+        enc = natural_encoding(small_controller)
+        prefixes = {s: enc.code_of(s) for s in small_controller.states}
+        assert output_incompatibility(implicants, prefixes, 0, register="misr") == 0
+
+    def test_output_incompatibility_register_validation(self, small_controller):
+        implicants = symbolic_minimize(small_controller)
+        with pytest.raises(ValueError):
+            output_incompatibility(implicants, {}, 1, register="jk")
+
+    def test_encoding_cost_non_negative(self, small_controller):
+        implicants = symbolic_minimize(small_controller)
+        enc = natural_encoding(small_controller)
+        assert encoding_cost(implicants, enc) >= 0
+
+    def test_first_column_incompatibility(self, small_controller):
+        implicants = symbolic_minimize(small_controller)
+        enc = natural_encoding(small_controller)
+        lfsr = LFSR.with_primitive_polynomial(enc.width)
+        feedback = {s: lfsr.feedback(enc.code_of(s)) for s in enc.states()}
+        cost = first_column_incompatibility(implicants, enc, feedback)
+        assert cost >= 0
+
+
+class TestEstimateProductTerms:
+    def test_requires_register_for_pst(self, small_controller):
+        enc = natural_encoding(small_controller)
+        with pytest.raises(ValueError):
+            estimate_product_terms(small_controller, enc, None, "pst")
+
+    def test_estimate_positive_and_bounded(self, small_controller):
+        enc = natural_encoding(small_controller)
+        lfsr = LFSR.with_primitive_polynomial(enc.width)
+        estimate = estimate_product_terms(small_controller, enc, lfsr, "pst")
+        assert 0 < estimate <= len(small_controller.transitions)
+
+    def test_dff_estimate_ignores_register(self, small_controller):
+        enc = natural_encoding(small_controller)
+        a = estimate_product_terms(small_controller, enc, None, "dff")
+        b = estimate_product_terms(small_controller, enc, LFSR.with_primitive_polynomial(enc.width), "dff")
+        assert a == b
+
+    def test_estimate_depends_on_encoding(self, small_controller):
+        lfsr = LFSR.with_primitive_polynomial(small_controller.min_code_bits)
+        values = set()
+        from repro.encoding import random_encoding
+
+        for seed in range(6):
+            enc = random_encoding(small_controller, seed=seed)
+            values.add(estimate_product_terms(small_controller, enc, lfsr, "pst"))
+        assert len(values) > 1, "different encodings should give different estimates"
+
+    def test_estimate_correlates_with_synthesis(self, paper_example_fsm):
+        # A perfect-alignment check on the tiny Fig. 3 machine: the estimate
+        # never exceeds the number of specified transitions.
+        enc = StateEncoding(2, {"A": "01", "B": "10", "C": "11"})
+        lfsr = LFSR(2, 0b111)
+        estimate = estimate_product_terms(paper_example_fsm, enc, lfsr, "pst")
+        assert estimate <= len(paper_example_fsm.transitions)

@@ -1,0 +1,60 @@
+"""Smoke tests for the public API surface and the runnable examples."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_version_exposed(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_reexports(self):
+        # The names a downstream user reaches for first must be importable
+        # from the package root.
+        assert callable(repro.synthesize)
+        assert callable(repro.load_benchmark)
+        assert callable(repro.parse_kiss)
+        assert repro.BISTStructure.PST.value == "PST"
+        assert repro.FSM is repro.fsm.FSM
+
+    def test_all_subpackages_importable(self):
+        for name in ("fsm", "logic", "lfsr", "encoding", "bist", "circuit", "reporting"):
+            assert hasattr(repro, name)
+
+    def test_dunder_all_entries_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+        for module in (repro.fsm, repro.logic, repro.lfsr, repro.encoding, repro.bist, repro.circuit):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestExamples:
+    @pytest.mark.parametrize("script", ["quickstart.py", "pat_smart_register.py"])
+    def test_fast_examples_run(self, script):
+        path = EXAMPLES_DIR / script
+        assert path.exists()
+        completed = subprocess.run(
+            [sys.executable, str(path)], capture_output=True, text=True, timeout=240
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()
+
+    def test_all_examples_present(self):
+        expected = {
+            "quickstart.py",
+            "pat_smart_register.py",
+            "bist_structure_tradeoff.py",
+            "fault_coverage_selftest.py",
+            "mcnc_benchmark_sweep.py",
+        }
+        assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic benchmark generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm import (
+    FSMError,
+    generate_controller,
+    generate_counter,
+    generate_random_fsm,
+)
+
+
+class TestGenerateController:
+    def test_sizes(self):
+        fsm = generate_controller("g", num_states=10, num_inputs=4, num_outputs=3, num_transitions=40, seed=5)
+        assert fsm.num_states == 10
+        assert fsm.num_inputs == 4
+        assert fsm.num_outputs == 3
+
+    def test_deterministic_and_complete(self):
+        fsm = generate_controller("g", num_states=12, num_inputs=5, num_outputs=4, num_transitions=60, seed=2)
+        assert fsm.is_deterministic()
+        assert fsm.is_completely_specified()
+
+    def test_strongly_connected(self):
+        fsm = generate_controller("g", num_states=9, num_inputs=3, num_outputs=2, num_transitions=30, seed=8)
+        assert fsm.is_strongly_connected()
+
+    def test_same_seed_same_machine(self):
+        a = generate_controller("g", 8, 3, 2, 24, seed=42)
+        b = generate_controller("g", 8, 3, 2, 24, seed=42)
+        assert a.transitions == b.transitions
+
+    def test_different_seed_different_machine(self):
+        a = generate_controller("g", 8, 3, 2, 24, seed=1)
+        b = generate_controller("g", 8, 3, 2, 24, seed=2)
+        assert a.transitions != b.transitions
+
+    def test_zero_inputs(self):
+        fsm = generate_controller("g", num_states=4, num_inputs=0, num_outputs=2, num_transitions=4, seed=0)
+        assert fsm.num_inputs == 0
+        assert fsm.is_completely_specified()
+
+    def test_single_state(self):
+        fsm = generate_controller("g", num_states=1, num_inputs=2, num_outputs=1, num_transitions=3, seed=0)
+        assert fsm.num_states == 1
+        assert fsm.is_completely_specified()
+
+    def test_invalid_state_count(self):
+        with pytest.raises(FSMError):
+            generate_controller("g", num_states=0, num_inputs=1, num_outputs=1, num_transitions=1)
+
+    def test_transition_budget_respected_roughly(self):
+        fsm = generate_controller("g", num_states=16, num_inputs=6, num_outputs=4, num_transitions=80, seed=3)
+        assert 16 <= len(fsm.transitions) <= 140
+
+    def test_outputs_drawn_from_shared_pool(self):
+        fsm = generate_controller("g", num_states=20, num_inputs=5, num_outputs=8, num_transitions=80, seed=4)
+        distinct_patterns = {t.outputs for t in fsm.transitions}
+        # Real controllers reuse output words; the generator must as well.
+        assert len(distinct_patterns) < len(fsm.transitions) / 2
+
+
+class TestGenerateCounter:
+    def test_counter_structure(self):
+        fsm = generate_counter("cnt", num_states=12, num_outputs=1, seed=0)
+        assert fsm.num_states == 12
+        assert fsm.num_inputs == 1
+        assert fsm.is_deterministic()
+        assert fsm.is_completely_specified()
+        assert fsm.is_strongly_connected()
+
+    def test_counter_steps_when_enabled(self):
+        fsm = generate_counter("cnt", num_states=4, num_outputs=1, seed=0)
+        trace = fsm.simulate(["1", "1", "1", "1"])
+        assert [s for s, _ in trace] == ["c1", "c2", "c3", "c0"]
+
+    def test_counter_holds_when_disabled(self):
+        fsm = generate_counter("cnt", num_states=4, num_outputs=1, seed=0)
+        trace = fsm.simulate(["0", "0"])
+        assert [s for s, _ in trace] == ["c0", "c0"]
+
+
+class TestGenerateRandomFsm:
+    def test_incomplete_machines_possible(self):
+        fsm = generate_random_fsm("r", num_states=5, num_inputs=3, num_outputs=2, seed=9, completeness=0.5)
+        assert fsm.num_states <= 5
+        assert not fsm.is_completely_specified()
+
+    def test_complete_when_requested(self):
+        fsm = generate_random_fsm("r", num_states=5, num_inputs=3, num_outputs=2, seed=9, completeness=1.0)
+        assert fsm.is_completely_specified()
+
+    def test_wide_inputs_rejected(self):
+        with pytest.raises(FSMError):
+            generate_random_fsm("r", num_states=3, num_inputs=12, num_outputs=1)
+
+    def test_reproducible(self):
+        a = generate_random_fsm("r", 6, 2, 2, seed=5)
+        b = generate_random_fsm("r", 6, 2, 2, seed=5)
+        assert a.transitions == b.transitions

@@ -1,0 +1,103 @@
+"""Unit tests for KISS2 parsing and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm import KissFormatError, parse_kiss, parse_kiss_file, write_kiss, write_kiss_file
+
+EXAMPLE = """
+# A small controller in KISS2 format
+.i 2
+.o 1
+.p 4
+.s 2
+.r st0
+0- st0 st0 0
+1- st0 st1 1
+-0 st1 st0 0
+-1 st1 st1 1
+.e
+"""
+
+
+class TestParse:
+    def test_basic_parse(self):
+        fsm = parse_kiss(EXAMPLE, name="demo")
+        assert fsm.name == "demo"
+        assert fsm.num_inputs == 2
+        assert fsm.num_outputs == 1
+        assert fsm.num_states == 2
+        assert fsm.reset_state == "st0"
+        assert len(fsm.transitions) == 4
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment only\n\n" + EXAMPLE
+        assert parse_kiss(text).num_states == 2
+
+    def test_unspecified_next_state(self):
+        text = ".i 1\n.o 1\n1 a * 1\n0 a a 0\n.e\n"
+        fsm = parse_kiss(text)
+        assert any(t.next == "*" for t in fsm.transitions)
+
+    def test_missing_io_directives_rejected(self):
+        with pytest.raises(KissFormatError):
+            parse_kiss("0 a b 1\n")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(KissFormatError):
+            parse_kiss(".i 1\n.o 1\n0 a b\n")
+
+    def test_term_count_mismatch_rejected(self):
+        text = ".i 1\n.o 1\n.p 5\n0 a a 1\n1 a a 0\n.e\n"
+        with pytest.raises(KissFormatError):
+            parse_kiss(text)
+
+    def test_state_count_mismatch_rejected(self):
+        text = ".i 1\n.o 1\n.s 3\n0 a a 1\n1 a b 0\n- b a 1\n.e\n"
+        with pytest.raises(KissFormatError):
+            parse_kiss(text)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(KissFormatError):
+            parse_kiss(".i 1\n.o 1\n.frobnicate 3\n0 a a 1\n")
+
+    def test_bad_integer_rejected(self):
+        with pytest.raises(KissFormatError):
+            parse_kiss(".i one\n.o 1\n0 a a 1\n")
+
+    def test_reset_directive_arity(self):
+        with pytest.raises(KissFormatError):
+            parse_kiss(".i 1\n.o 1\n.r a b\n0 a a 1\n")
+
+    def test_empty_description_rejected(self):
+        with pytest.raises(KissFormatError):
+            parse_kiss(".i 1\n.o 1\n.e\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, small_controller):
+        text = write_kiss(small_controller)
+        again = parse_kiss(text, name=small_controller.name)
+        assert again.num_states == small_controller.num_states
+        assert again.num_inputs == small_controller.num_inputs
+        assert again.num_outputs == small_controller.num_outputs
+        assert again.reset_state == small_controller.reset_state
+        assert len(again.transitions) == len(small_controller.transitions)
+
+    def test_written_text_contains_directives(self, paper_example_fsm):
+        text = write_kiss(paper_example_fsm)
+        assert ".i 1" in text
+        assert ".o 1" in text
+        assert ".r A" in text
+        assert text.rstrip().endswith(".e")
+
+    def test_file_roundtrip(self, tmp_path, paper_example_fsm):
+        path = tmp_path / "fig3.kiss2"
+        write_kiss_file(paper_example_fsm, path)
+        loaded = parse_kiss_file(path)
+        assert loaded.name == "fig3"
+        assert loaded.num_states == 3
+        trace_original = paper_example_fsm.simulate(["1", "0", "1"])
+        trace_loaded = loaded.simulate(["1", "0", "1"])
+        assert trace_original == trace_loaded

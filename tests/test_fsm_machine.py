@@ -1,0 +1,235 @@
+"""Unit tests for the symbolic FSM model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm import FSM, FSMError, Transition
+from repro.fsm.machine import (
+    _complement_cubes,
+    _cubes_cover_everything,
+    cube_matches,
+    cube_minterm_count,
+    cubes_intersect,
+    expand_cube,
+)
+
+
+class TestCubeHelpers:
+    def test_cube_matches_exact(self):
+        assert cube_matches("101", "101")
+        assert not cube_matches("101", "100")
+
+    def test_cube_matches_with_dashes(self):
+        assert cube_matches("1-0", "110")
+        assert cube_matches("1-0", "100")
+        assert not cube_matches("1-0", "101")
+
+    def test_cube_matches_width_mismatch(self):
+        with pytest.raises(FSMError):
+            cube_matches("1-", "101")
+
+    def test_cubes_intersect(self):
+        assert cubes_intersect("1-0", "-10")
+        assert not cubes_intersect("1-0", "0--")
+        assert cubes_intersect("---", "010")
+
+    def test_expand_cube_counts(self):
+        assert sorted(expand_cube("1-")) == ["10", "11"]
+        assert list(expand_cube("01")) == ["01"]
+        assert len(list(expand_cube("---"))) == 8
+
+    def test_cube_minterm_count(self):
+        assert cube_minterm_count("0-1-") == 4
+        assert cube_minterm_count("01") == 1
+
+    def test_cover_everything_full_dash(self):
+        assert _cubes_cover_everything(["--"], 2)
+
+    def test_cover_everything_split(self):
+        assert _cubes_cover_everything(["0-", "1-"], 2)
+        assert not _cubes_cover_everything(["0-", "10"], 2)
+
+    def test_complement_of_empty_is_universe(self):
+        assert _complement_cubes([], 2) == ["--"]
+
+    def test_complement_of_universe_is_empty(self):
+        assert _complement_cubes(["--"], 2) == []
+
+    def test_complement_partitions_space(self):
+        cubes = ["00", "1-"]
+        complement = _complement_cubes(cubes, 2)
+        covered = set()
+        for c in cubes + complement:
+            covered.update(expand_cube(c))
+        assert covered == {"00", "01", "10", "11"}
+        # No overlap between original and complement.
+        original = {m for c in cubes for m in expand_cube(c)}
+        comp = {m for c in complement for m in expand_cube(c)}
+        assert not original & comp
+
+
+class TestTransition:
+    def test_matches(self):
+        t = Transition("1-", "a", "b", "0")
+        assert t.matches("10")
+        assert not t.matches("01")
+
+
+class TestFSMConstruction:
+    def test_basic_properties(self, small_controller):
+        assert small_controller.num_states == 8
+        assert small_controller.min_code_bits == 3
+        assert small_controller.reset_state in small_controller.states
+
+    def test_states_collected_in_order(self):
+        fsm = FSM(
+            "m",
+            1,
+            1,
+            [
+                Transition("0", "x", "y", "1"),
+                Transition("1", "x", "z", "0"),
+                Transition("-", "y", "x", "0"),
+                Transition("-", "z", "x", "1"),
+            ],
+        )
+        assert fsm.states == ("x", "y", "z")
+
+    def test_explicit_state_order(self):
+        fsm = FSM(
+            "m",
+            1,
+            1,
+            [Transition("-", "a", "b", "1"), Transition("-", "b", "a", "0")],
+            states=["b", "a"],
+        )
+        assert fsm.states == ("b", "a")
+
+    def test_duplicate_state_list_rejected(self):
+        with pytest.raises(FSMError):
+            FSM("m", 1, 1, [Transition("-", "a", "a", "0")], states=["a", "a"])
+
+    def test_bad_input_cube_rejected(self):
+        with pytest.raises(FSMError):
+            FSM("m", 2, 1, [Transition("0", "a", "a", "1")])
+
+    def test_bad_output_cube_rejected(self):
+        with pytest.raises(FSMError):
+            FSM("m", 1, 2, [Transition("0", "a", "a", "2x")])
+
+    def test_unknown_reset_state_rejected(self):
+        with pytest.raises(FSMError):
+            FSM("m", 1, 1, [Transition("0", "a", "a", "1")], reset_state="zzz")
+
+    def test_default_reset_is_first_present_state(self):
+        fsm = FSM("m", 1, 1, [Transition("-", "q1", "q2", "1"), Transition("-", "q2", "q1", "0")])
+        assert fsm.reset_state == "q1"
+
+    def test_min_code_bits_single_state(self):
+        fsm = FSM("m", 1, 1, [Transition("-", "only", "only", "0")])
+        assert fsm.min_code_bits == 1
+
+
+class TestFSMBehaviour:
+    def test_lookup_returns_matching_transition(self, paper_example_fsm):
+        nxt, out = paper_example_fsm.lookup("A", "1")
+        assert nxt == "B"
+        assert out == "0"
+
+    def test_lookup_requires_full_vector(self, paper_example_fsm):
+        with pytest.raises(FSMError):
+            paper_example_fsm.lookup("A", "-")
+
+    def test_lookup_missing_returns_none(self, incomplete_fsm):
+        nxt, out = incomplete_fsm.lookup("idle", "11")
+        assert nxt is None
+        assert out == "--"
+
+    def test_simulate_trace(self, paper_example_fsm):
+        trace = paper_example_fsm.simulate(["1", "0", "0"])
+        assert [s for s, _ in trace] == ["B", "C", "A"]
+        assert [o for _, o in trace] == ["0", "1", "1"]
+
+    def test_simulate_stops_on_unspecified(self, incomplete_fsm):
+        trace = incomplete_fsm.simulate(["11", "00"])
+        assert len(trace) == 1
+
+    def test_transitions_from_unknown_state(self, paper_example_fsm):
+        with pytest.raises(FSMError):
+            paper_example_fsm.transitions_from("nope")
+
+
+class TestFSMAnalysis:
+    def test_deterministic(self, paper_example_fsm, small_controller):
+        assert paper_example_fsm.is_deterministic()
+        assert small_controller.is_deterministic()
+
+    def test_non_deterministic_detected(self):
+        fsm = FSM(
+            "nd",
+            1,
+            1,
+            [Transition("-", "a", "b", "0"), Transition("1", "a", "a", "1"), Transition("-", "b", "a", "0")],
+        )
+        assert not fsm.is_deterministic()
+
+    def test_completely_specified(self, paper_example_fsm, incomplete_fsm):
+        assert paper_example_fsm.is_completely_specified()
+        assert not incomplete_fsm.is_completely_specified()
+
+    def test_reachable_states(self, paper_example_fsm):
+        assert paper_example_fsm.reachable_states() == frozenset({"A", "B", "C"})
+
+    def test_unreachable_state(self):
+        fsm = FSM(
+            "u",
+            1,
+            1,
+            [
+                Transition("-", "a", "a", "0"),
+                Transition("-", "island", "a", "1"),
+            ],
+            reset_state="a",
+        )
+        assert "island" not in fsm.reachable_states()
+        assert not fsm.is_strongly_connected()
+
+    def test_strongly_connected(self, paper_example_fsm):
+        assert paper_example_fsm.is_strongly_connected()
+
+    def test_used_input_columns(self, incomplete_fsm):
+        assert incomplete_fsm.used_input_columns() == [0, 1]
+
+    def test_transition_count_matrix(self, paper_example_fsm):
+        counts = paper_example_fsm.transition_count_matrix()
+        assert counts[("A", "B")] == 1
+        assert counts[("A", "A")] == 1
+
+
+class TestFSMTransforms:
+    def test_renamed(self, paper_example_fsm):
+        renamed = paper_example_fsm.renamed({"A": "S0", "B": "S1", "C": "S2"})
+        assert renamed.states == ("S0", "S1", "S2")
+        assert renamed.reset_state == "S0"
+        assert renamed.lookup("S0", "1")[0] == "S1"
+
+    def test_renamed_merge_rejected(self, paper_example_fsm):
+        with pytest.raises(FSMError):
+            paper_example_fsm.renamed({"A": "X", "B": "X"})
+
+    def test_completed_is_identity_when_complete(self, paper_example_fsm):
+        assert paper_example_fsm.completed() is paper_example_fsm
+
+    def test_completed_adds_dont_care_rows(self, incomplete_fsm):
+        completed = incomplete_fsm.completed()
+        assert completed.is_completely_specified()
+        extra = [t for t in completed.transitions if t.next == "*"]
+        assert extra, "completion should add unspecified-next transitions"
+        for t in extra:
+            assert t.outputs == "--"
+
+    def test_completed_with_default_next(self, incomplete_fsm):
+        completed = incomplete_fsm.completed(default_next="idle")
+        assert completed.is_completely_specified()
+        assert all(t.next != "*" for t in completed.transitions)

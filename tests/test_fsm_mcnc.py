@@ -1,0 +1,85 @@
+"""Unit tests for the MCNC benchmark registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm import (
+    BENCHMARK_STATS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    benchmark_names,
+    load_benchmark,
+    load_benchmark_suite,
+    write_kiss_file,
+)
+
+
+class TestRegistry:
+    def test_thirteen_benchmarks(self):
+        assert len(BENCHMARK_STATS) == 13
+        assert set(PAPER_TABLE2) == set(BENCHMARK_STATS)
+        assert set(PAPER_TABLE3) == set(BENCHMARK_STATS)
+
+    def test_names_in_table_order(self):
+        names = benchmark_names()
+        assert names[0] == "dk16"
+        assert "tbk" in names and "scf" in names
+
+    def test_paper_table2_is_consistent(self):
+        # The heuristic never loses against the best random encoding in the
+        # paper, and the best random encoding never beats the average.
+        for row in PAPER_TABLE2.values():
+            assert row.heuristic <= row.random_best
+            assert row.random_best <= row.random_average
+
+    def test_paper_table3_columns_positive(self):
+        for row in PAPER_TABLE3.values():
+            assert row.terms_pst_sig > 0 and row.terms_dff > 0 and row.terms_pat > 0
+            assert row.literals_pst_sig > 0 and row.literals_dff > 0 and row.literals_pat > 0
+
+    def test_pat_never_needs_more_terms_than_dff_in_paper(self):
+        for row in PAPER_TABLE3.values():
+            assert row.terms_pat <= row.terms_dff
+
+
+class TestLoadBenchmark:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_benchmark("not-a-benchmark")
+
+    def test_synthetic_matches_published_sizes(self):
+        fsm = load_benchmark("dk16")
+        stats = BENCHMARK_STATS["dk16"]
+        assert fsm.num_states == stats.states
+        assert fsm.num_inputs == stats.inputs
+        assert fsm.num_outputs == stats.outputs
+
+    def test_transition_cap(self):
+        capped = load_benchmark("tbk", max_transitions=100)
+        assert len(capped.transitions) <= 200  # budget rounding allows slight overshoot
+
+    def test_deterministic_loading(self):
+        a = load_benchmark("mark1")
+        b = load_benchmark("mark1")
+        assert a.transitions == b.transitions
+
+    def test_generated_machines_are_well_formed(self):
+        for name in ["dk512", "modulo12", "ex4", "mark1"]:
+            fsm = load_benchmark(name)
+            assert fsm.is_deterministic()
+            assert fsm.is_completely_specified()
+            assert fsm.is_strongly_connected()
+
+    def test_real_file_preferred_when_present(self, tmp_path, paper_example_fsm):
+        # Drop a (stand-in) kiss2 file named like a benchmark into the data
+        # directory: the loader must parse it instead of generating.
+        target = tmp_path / "dk512.kiss2"
+        write_kiss_file(paper_example_fsm, target)
+        fsm = load_benchmark("dk512", data_dir=tmp_path)
+        assert fsm.num_states == 3  # the stand-in, not the synthetic machine
+
+    def test_suite_loader(self):
+        suite = load_benchmark_suite(["dk512", "ex4"])
+        assert set(suite) == {"dk512", "ex4"}
+        assert suite["ex4"].num_states == BENCHMARK_STATS["ex4"].states

@@ -1,0 +1,98 @@
+"""Unit tests for FSM validation and structural summaries."""
+
+from __future__ import annotations
+
+from repro.fsm import FSM, Transition, structural_summary, validate_fsm
+
+
+class TestValidate:
+    def test_clean_machine(self, paper_example_fsm):
+        report = validate_fsm(paper_example_fsm)
+        assert report.ok
+        assert not report.warnings
+
+    def test_incomplete_machine_warns(self, incomplete_fsm):
+        report = validate_fsm(incomplete_fsm)
+        assert report.ok
+        assert any(issue.code == "incomplete" for issue in report.warnings)
+
+    def test_conflicting_overlap_is_error(self):
+        fsm = FSM(
+            "bad",
+            1,
+            1,
+            [
+                Transition("-", "a", "b", "0"),
+                Transition("1", "a", "a", "1"),
+                Transition("-", "b", "a", "0"),
+            ],
+        )
+        report = validate_fsm(fsm)
+        assert not report.ok
+        assert any(issue.code == "overlap" for issue in report.errors)
+
+    def test_harmless_overlap_is_warning(self):
+        fsm = FSM(
+            "dup",
+            1,
+            1,
+            [
+                Transition("-", "a", "b", "0"),
+                Transition("1", "a", "b", "0"),
+                Transition("-", "b", "a", "0"),
+            ],
+        )
+        report = validate_fsm(fsm)
+        assert report.ok
+        assert any(issue.code == "overlap" for issue in report.warnings)
+
+    def test_unreachable_state_warning(self):
+        fsm = FSM(
+            "unreach",
+            1,
+            1,
+            [
+                Transition("-", "a", "a", "0"),
+                Transition("-", "island", "a", "0"),
+            ],
+            reset_state="a",
+        )
+        report = validate_fsm(fsm)
+        assert any(issue.code == "unreachable-states" for issue in report.warnings)
+
+    def test_unused_input_warning(self):
+        fsm = FSM(
+            "unused",
+            2,
+            1,
+            [
+                Transition("0-", "a", "b", "0"),
+                Transition("1-", "a", "a", "1"),
+                Transition("--", "b", "a", "0"),
+            ],
+        )
+        report = validate_fsm(fsm)
+        assert any(issue.code == "unused-inputs" for issue in report.warnings)
+
+    def test_unspecified_next_warning(self, incomplete_fsm):
+        completed = incomplete_fsm.completed()
+        report = validate_fsm(completed)
+        assert any(issue.code == "unspecified-next" for issue in report.warnings)
+
+
+class TestStructuralSummary:
+    def test_summary_fields(self, paper_example_fsm):
+        summary = structural_summary(paper_example_fsm)
+        assert summary["states"] == 3
+        assert summary["inputs"] == 1
+        assert summary["outputs"] == 1
+        assert summary["min_code_bits"] == 2
+        assert summary["deterministic"] is True
+        assert summary["completely_specified"] is True
+        assert summary["strongly_connected"] is True
+        assert summary["reachable_states"] == 3
+
+    def test_summary_counts_transitions(self, small_controller):
+        summary = structural_summary(small_controller)
+        assert summary["transitions"] == len(small_controller.transitions)
+        assert summary["max_fanout"] >= 1

@@ -1,0 +1,163 @@
+"""Unit tests for GF(2) polynomials, LFSRs and MISRs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lfsr import (
+    LFSR,
+    MISR,
+    default_primitive_polynomial,
+    degree,
+    is_irreducible,
+    is_primitive,
+    poly_from_taps,
+    poly_to_string,
+    primitive_polynomials,
+    taps_from_poly,
+)
+
+
+class TestPolynomial:
+    def test_degree(self):
+        assert degree(0b1011) == 3
+        assert degree(0b1) == 0
+        assert degree(0) == -1
+
+    def test_poly_to_string(self):
+        assert poly_to_string(0b111) == "x^2 + x + 1"
+        assert poly_to_string(0b1011) == "x^3 + x + 1"
+        assert poly_to_string(0) == "0"
+
+    def test_poly_from_taps_roundtrip(self):
+        poly = poly_from_taps([0, 1], 3)
+        assert poly == 0b1011
+        assert taps_from_poly(poly) == [0, 1]
+
+    def test_poly_from_taps_range_check(self):
+        with pytest.raises(ValueError):
+            poly_from_taps([5], 3)
+
+    def test_known_irreducible(self):
+        assert is_irreducible(0b111)      # x^2 + x + 1
+        assert is_irreducible(0b1011)     # x^3 + x + 1
+        assert is_irreducible(0b11111)    # x^4 + x^3 + x^2 + x + 1
+        assert not is_irreducible(0b1001)  # x^3 + 1 = (x+1)(x^2+x+1)
+
+    def test_known_primitive(self):
+        assert is_primitive(0b111)     # x^2 + x + 1
+        assert is_primitive(0b1011)    # x^3 + x + 1
+        assert is_primitive(0b10011)   # x^4 + x + 1
+        # Irreducible but not primitive: x^4 + x^3 + x^2 + x + 1 has order 5.
+        assert not is_primitive(0b11111)
+        assert not is_primitive(0b1001)
+
+    def test_primitive_polynomial_counts(self):
+        # The number of degree-r primitive polynomials is phi(2^r - 1) / r.
+        assert len(primitive_polynomials(3)) == 2
+        assert len(primitive_polynomials(4)) == 2
+        assert len(primitive_polynomials(5)) == 6
+
+    def test_primitive_limit(self):
+        assert len(primitive_polynomials(5, limit=3)) == 3
+
+    def test_default_primitive_polynomial(self):
+        poly = default_primitive_polynomial(6)
+        assert degree(poly) == 6
+        assert is_primitive(poly)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            primitive_polynomials(0)
+
+
+class TestLFSR:
+    def test_width_must_match_degree(self):
+        with pytest.raises(ValueError):
+            LFSR(3, 0b111)
+
+    def test_constant_term_required(self):
+        with pytest.raises(ValueError):
+            LFSR(2, 0b110)
+
+    def test_fig3_cycle(self):
+        # Fig. 3b of the paper: polynomial 1 + x + x^2, cycle 01 -> 10 -> 11 -> 01.
+        lfsr = LFSR(2, 0b111)
+        assert lfsr.next_state("01") == "10"
+        assert lfsr.next_state("10") == "11"
+        assert lfsr.next_state("11") == "01"
+        assert lfsr.cycle("01") == ["01", "10", "11"]
+
+    def test_zero_state_is_fixed_point(self):
+        lfsr = LFSR(3, 0b1011)
+        assert lfsr.next_state("000") == "000"
+
+    def test_maximal_length_for_primitive(self):
+        for width in (2, 3, 4, 5):
+            lfsr = LFSR.with_primitive_polynomial(width)
+            assert lfsr.is_maximal_length
+            assert lfsr.period() == (1 << width) - 1
+
+    def test_sequence_length(self):
+        lfsr = LFSR.with_primitive_polynomial(4)
+        seq = lfsr.sequence("0001", 10)
+        assert len(seq) == 10
+        assert seq[0] == "0001"
+
+    def test_feedback_taps_sorted_unique(self):
+        lfsr = LFSR.with_primitive_polynomial(5)
+        taps = lfsr.feedback_taps
+        assert taps == sorted(set(taps))
+        assert all(1 <= t <= 5 for t in taps)
+
+    def test_state_width_checked(self):
+        lfsr = LFSR.with_primitive_polynomial(3)
+        with pytest.raises(ValueError):
+            lfsr.next_state("01")
+        with pytest.raises(ValueError):
+            lfsr.feedback("0101")
+
+
+class TestMISR:
+    def test_next_state_is_autonomous_xor_data(self):
+        misr = MISR.with_primitive_polynomial(4)
+        state = "1010"
+        data = "0110"
+        expected = "".join(
+            str(int(a) ^ int(b)) for a, b in zip(misr.autonomous_next(state), data)
+        )
+        assert misr.next_state(state, data) == expected
+
+    def test_excitation_identity(self):
+        # y = s+ XOR M(s)  must move the register exactly to s+.
+        misr = MISR.with_primitive_polynomial(3)
+        for present in ("000", "101", "011", "111"):
+            for target in ("001", "110", "010"):
+                y = misr.excitation_for_transition(present, target)
+                assert misr.next_state(present, y) == target
+
+    def test_signature_deterministic(self):
+        misr = MISR.with_primitive_polynomial(4)
+        responses = ["1010", "0110", "1111", "0001"]
+        assert misr.signature(responses) == misr.signature(responses)
+
+    def test_signature_sensitive_to_single_bit(self):
+        misr = MISR.with_primitive_polynomial(4)
+        good = ["1010", "0110", "1111", "0001"]
+        bad = ["1010", "0111", "1111", "0001"]
+        assert misr.signature(good) != misr.signature(bad)
+
+    def test_signatures_over_time_length(self):
+        misr = MISR.with_primitive_polynomial(3)
+        trace = misr.signatures_over_time(["111", "000", "101"])
+        assert len(trace) == 3
+
+    def test_aliasing_probability(self):
+        misr = MISR.with_primitive_polynomial(5)
+        assert misr.aliasing_probability(1000) == pytest.approx(2 ** -5)
+        assert misr.aliasing_probability(0) == 0.0
+
+    def test_seed_width_checked(self):
+        misr = MISR.with_primitive_polynomial(3)
+        with pytest.raises(ValueError):
+            misr.signature(["111"], seed="01")

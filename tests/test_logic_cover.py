@@ -1,0 +1,109 @@
+"""Unit tests for covers and the tautology/containment machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import Cover, Cube
+from repro.logic.cover import TautologyBudget
+
+
+def _cover(num_inputs, num_outputs, rows):
+    cover = Cover(num_inputs, num_outputs)
+    for inputs, outputs in rows:
+        cover.add(Cube.from_strings(inputs, outputs))
+    return cover
+
+
+class TestBasics:
+    def test_add_checks_dimensions(self):
+        cover = Cover(2, 1)
+        with pytest.raises(Exception):
+            cover.add(Cube.from_strings("101", "1"))
+
+    def test_add_checks_output_range(self):
+        cover = Cover(2, 1)
+        with pytest.raises(Exception):
+            cover.add(Cube.from_strings("10", "01"))
+
+    def test_counts(self):
+        cover = _cover(3, 2, [("1-0", "10"), ("0--", "01")])
+        assert cover.product_term_count() == 2
+        assert cover.input_literal_count() == 3
+        assert cover.sop_literal_count() == 5
+
+    def test_cubes_for_output(self):
+        cover = _cover(2, 2, [("1-", "10"), ("0-", "01"), ("--", "11")])
+        assert len(cover.cubes_for_output(0)) == 2
+        assert len(cover.cubes_for_output(1)) == 2
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(Exception):
+            Cover(2, 1).merged_with(Cover(3, 1))
+
+
+class TestEvaluation:
+    def test_evaluate_or_of_cubes(self):
+        cover = _cover(2, 2, [("1-", "10"), ("01", "01")])
+        assert cover.evaluate((1, 0)) == (1, 0)
+        assert cover.evaluate((0, 1)) == (0, 1)
+        assert cover.evaluate((0, 0)) == (0, 0)
+
+    def test_evaluate_wrong_width(self):
+        cover = _cover(2, 1, [("1-", "1")])
+        with pytest.raises(Exception):
+            cover.evaluate((1, 0, 1))
+
+
+class TestContainment:
+    def test_single_cube_containment(self):
+        cover = _cover(3, 1, [("1--", "1")])
+        assert cover.covers_cube(Cube.from_strings("110", "1"), 0)
+
+    def test_union_containment_needs_tautology(self):
+        # Neither cube alone covers "1--", together they do.
+        cover = _cover(3, 1, [("1-0", "1"), ("1-1", "1")])
+        assert cover.covers_cube(Cube.from_strings("1--", "1"), 0)
+
+    def test_not_covered(self):
+        cover = _cover(3, 1, [("1-0", "1")])
+        assert not cover.covers_cube(Cube.from_strings("1--", "1"), 0)
+
+    def test_output_specific(self):
+        cover = _cover(2, 2, [("--", "10")])
+        assert cover.covers_cube(Cube.from_strings("01", "1"), 0)
+        assert not cover.covers_cube(Cube.from_strings("01", "1"), 1)
+
+    def test_is_tautology(self):
+        assert _cover(2, 1, [("0-", "1"), ("1-", "1")]).is_tautology(0)
+        assert not _cover(2, 1, [("0-", "1"), ("11", "1")]).is_tautology(0)
+
+    def test_three_variable_tautology(self):
+        cover = _cover(3, 1, [("00-", "1"), ("01-", "1"), ("1-0", "1"), ("1-1", "1")])
+        assert cover.is_tautology(0)
+
+    def test_budget_exhaustion_is_conservative(self):
+        cover = _cover(3, 1, [("1-0", "1"), ("1-1", "1")])
+        exhausted = TautologyBudget(limit=0)
+        assert not cover.covers_cube(Cube.from_strings("1--", "1"), 0, exhausted)
+
+    def test_remove_single_cube_containment(self):
+        cover = _cover(2, 1, [("1-", "1"), ("11", "1"), ("0-", "1")])
+        reduced = cover.remove_single_cube_containment()
+        assert len(reduced) == 2
+
+    def test_functional_equality(self):
+        a = _cover(2, 1, [("1-", "1"), ("01", "1")])
+        b = _cover(2, 1, [("11", "1"), ("10", "1"), ("01", "1")])
+        assert a.functionally_equal(b)
+
+    def test_functional_inequality(self):
+        a = _cover(2, 1, [("1-", "1")])
+        b = _cover(2, 1, [("--", "1")])
+        assert not a.functionally_equal(b)
+
+    def test_functional_equality_modulo_dc(self):
+        a = _cover(2, 1, [("1-", "1")])
+        b = _cover(2, 1, [("--", "1")])
+        dc = _cover(2, 1, [("0-", "1")])
+        assert a.functionally_equal(b, dc=dc)

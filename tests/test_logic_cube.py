@@ -1,0 +1,121 @@
+"""Unit tests for the positional-cube representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import Cube, CubeError
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        cube = Cube.from_strings("1-0", "101")
+        assert cube.num_inputs == 3
+        assert cube.input_string() == "1-0"
+        assert cube.output_string(3) == "101"
+
+    def test_invalid_input_literal(self):
+        with pytest.raises(CubeError):
+            Cube.from_strings("1x0", "1")
+
+    def test_invalid_output_literal(self):
+        with pytest.raises(CubeError):
+            Cube.from_strings("10", "2")
+
+    def test_universal(self):
+        cube = Cube.universal(4, 0b11)
+        assert cube.input_string() == "----"
+        assert cube.outputs == 0b11
+
+    def test_output_dash_means_not_driven(self):
+        cube = Cube.from_strings("01", "-1")
+        assert cube.outputs == 0b10
+
+
+class TestInspection:
+    def test_literal_count(self):
+        assert Cube.from_strings("1-0-", "1").literal_count() == 2
+        assert Cube.from_strings("----", "1").literal_count() == 0
+
+    def test_output_count(self):
+        assert Cube.from_strings("1", "1011").output_count() == 3
+
+    def test_specified_vars(self):
+        assert Cube.from_strings("-01-", "1").specified_vars() == [1, 2]
+
+    def test_minterm_count(self):
+        assert Cube.from_strings("1--", "1").minterm_count() == 4
+        assert Cube.from_strings("101", "1").minterm_count() == 1
+
+    def test_enumerate_minterms(self):
+        points = set(Cube.from_strings("1-", "1").enumerate_minterms())
+        assert points == {(1, 0), (1, 1)}
+
+    def test_is_input_valid(self):
+        cube = Cube.from_strings("10", "1")
+        assert cube.is_input_valid()
+        empty = cube.with_input(0, 0b00)
+        assert not empty.is_input_valid()
+
+
+class TestOperations:
+    def test_raise_input(self):
+        cube = Cube.from_strings("10", "1")
+        assert cube.raise_input(0).input_string() == "-0"
+
+    def test_with_outputs(self):
+        cube = Cube.from_strings("10", "01")
+        assert cube.with_outputs(0b01).output_string(2) == "10"
+
+    def test_inputs_intersect(self):
+        a = Cube.from_strings("1-0", "1")
+        b = Cube.from_strings("-10", "1")
+        c = Cube.from_strings("0--", "1")
+        assert a.inputs_intersect(b)
+        assert not a.inputs_intersect(c)
+
+    def test_input_contains(self):
+        big = Cube.from_strings("1--", "1")
+        small = Cube.from_strings("101", "1")
+        assert big.input_contains(small)
+        assert not small.input_contains(big)
+
+    def test_contains_requires_outputs_too(self):
+        big = Cube.from_strings("1--", "10")
+        small = Cube.from_strings("101", "11")
+        assert not big.contains(small)
+        assert big.with_outputs(0b11).contains(small)
+
+    def test_input_cofactor_disjoint_is_none(self):
+        a = Cube.from_strings("1-", "1")
+        b = Cube.from_strings("0-", "1")
+        assert a.input_cofactor(b) is None
+
+    def test_input_cofactor_raises_constrained_vars(self):
+        a = Cube.from_strings("11", "1")
+        against = Cube.from_strings("1-", "1")
+        cofactored = a.input_cofactor(against)
+        assert cofactored is not None
+        assert cofactored.input_string() == "-1"
+
+    def test_input_distance(self):
+        a = Cube.from_strings("110", "1")
+        b = Cube.from_strings("101", "1")
+        assert a.input_distance(b) == 2
+
+    def test_merge_distance_one(self):
+        a = Cube.from_strings("110", "1")
+        b = Cube.from_strings("100", "1")
+        merged = a.merge_distance_one(b)
+        assert merged is not None
+        assert merged.input_string() == "1-0"
+
+    def test_merge_rejects_output_mismatch(self):
+        a = Cube.from_strings("110", "1")
+        b = Cube.from_strings("100", "0")
+        assert a.merge_distance_one(b) is None
+
+    def test_merge_rejects_distance_two(self):
+        a = Cube.from_strings("110", "1")
+        b = Cube.from_strings("001", "1")
+        assert a.merge_distance_one(b) is None

@@ -1,0 +1,90 @@
+"""Unit tests for multi-level literal estimation (common-cube extraction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import (
+    Cover,
+    Cube,
+    build_network,
+    extract_common_cubes,
+    multilevel_literal_count,
+)
+
+
+def _cover(num_inputs, num_outputs, rows):
+    cover = Cover(num_inputs, num_outputs)
+    for inputs, outputs in rows:
+        cover.add(Cube.from_strings(inputs, outputs))
+    return cover
+
+
+class TestBuildNetwork:
+    def test_one_node_per_output(self):
+        cover = _cover(3, 2, [("11-", "10"), ("0-1", "01")])
+        network = build_network(cover)
+        assert network.node_names() == ["f0", "f1"]
+        assert network.literal_count() == 4
+
+    def test_custom_names(self):
+        cover = _cover(2, 1, [("10", "1")])
+        network = build_network(cover, input_names=["a", "b"], output_names=["z"])
+        assert network.node_names() == ["z"]
+        term = network.nodes[0].terms[0]
+        assert ("a", 1) in term and ("b", 0) in term
+
+    def test_name_length_mismatch(self):
+        cover = _cover(2, 1, [("10", "1")])
+        with pytest.raises(ValueError):
+            build_network(cover, input_names=["a"], output_names=["z"])
+
+    def test_shared_cube_counted_per_output(self):
+        cover = _cover(2, 2, [("11", "11")])
+        network = build_network(cover)
+        assert network.literal_count() == 4
+
+
+class TestExtraction:
+    def test_extracts_common_pair(self):
+        # Three terms share the pair a.b -> extraction saves literals.
+        cover = _cover(4, 1, [("11-0", "1"), ("110-", "1"), ("11-1", "1")])
+        network = build_network(cover)
+        before = network.literal_count()
+        optimised = extract_common_cubes(network)
+        assert optimised.literal_count() < before
+        assert any(name.startswith("_d") for name in optimised.node_names())
+
+    def test_no_extraction_when_nothing_shared(self):
+        cover = _cover(4, 1, [("10--", "1"), ("--01", "1")])
+        network = build_network(cover)
+        optimised = extract_common_cubes(network)
+        assert optimised.literal_count() == network.literal_count()
+
+    def test_extraction_across_outputs(self):
+        cover = _cover(4, 2, [("11-0", "10"), ("11--", "01"), ("111-", "10")])
+        network = build_network(cover)
+        optimised = extract_common_cubes(network)
+        assert optimised.literal_count() <= network.literal_count()
+
+    def test_original_network_not_modified(self):
+        cover = _cover(4, 1, [("11-0", "1"), ("110-", "1"), ("11-1", "1")])
+        network = build_network(cover)
+        before = network.literal_count()
+        extract_common_cubes(network)
+        assert network.literal_count() == before
+
+    def test_max_divisor_cap(self):
+        cover = _cover(4, 1, [("11-0", "1"), ("110-", "1"), ("11-1", "1")])
+        network = build_network(cover)
+        optimised = extract_common_cubes(network, max_divisors=0)
+        assert optimised.literal_count() == network.literal_count()
+
+
+class TestLiteralCount:
+    def test_end_to_end_count(self):
+        cover = _cover(4, 2, [("11-0", "10"), ("110-", "11"), ("11-1", "01")])
+        count = multilevel_literal_count(cover)
+        assert count > 0
+        network = build_network(cover)
+        assert count <= network.literal_count()

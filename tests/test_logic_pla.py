@@ -1,0 +1,103 @@
+"""Unit tests for espresso-format PLA reading and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import Cover, Cube, minimize, parse_pla, parse_pla_file, write_pla, write_pla_file
+from repro.logic.pla import PLAFormatError
+
+EXAMPLE = """
+# two-output example
+.i 3
+.o 2
+.ilb a b c
+.ob y z
+.p 3
+1-0 10
+01- 01
+111 1-
+.e
+"""
+
+
+def _cover(num_inputs, num_outputs, rows):
+    cover = Cover(num_inputs, num_outputs)
+    for inputs, outputs in rows:
+        cover.add(Cube.from_strings(inputs, outputs))
+    return cover
+
+
+class TestParse:
+    def test_basic(self):
+        on, dc, input_names, output_names = parse_pla(EXAMPLE)
+        assert input_names == ["a", "b", "c"]
+        assert output_names == ["y", "z"]
+        assert len(on) == 3
+        assert len(dc) == 1  # the '-' output of the last row
+
+    def test_default_names(self):
+        on, dc, input_names, output_names = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert input_names == ["x0", "x1"]
+        assert output_names == ["f0"]
+        assert len(on) == 1 and len(dc) == 0
+
+    def test_missing_directives(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla("11 1\n")
+
+    def test_bad_row(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 2\n.o 1\n11\n")
+
+    def test_width_mismatch(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 2\n.o 1\n111 1\n")
+
+    def test_bad_output_character(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 1\n.o 1\n1 x\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 1\n.o 1\n.magic\n1 1\n")
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        on = _cover(3, 2, [("1-0", "10"), ("01-", "01")])
+        dc = _cover(3, 2, [("111", "01")])
+        text = write_pla(on, dc, ["a", "b", "c"], ["y", "z"])
+        on2, dc2, input_names, output_names = parse_pla(text)
+        assert input_names == ["a", "b", "c"]
+        assert output_names == ["y", "z"]
+        assert on2.functionally_equal(on)
+        assert len(dc2) == len(dc)
+
+    def test_dimension_mismatch(self):
+        on = _cover(2, 1, [("1-", "1")])
+        dc = _cover(3, 1, [("1--", "1")])
+        with pytest.raises(PLAFormatError):
+            write_pla(on, dc)
+
+    def test_name_count_checked(self):
+        on = _cover(2, 1, [("1-", "1")])
+        with pytest.raises(PLAFormatError):
+            write_pla(on, input_names=["a"])
+
+    def test_file_roundtrip(self, tmp_path):
+        on = _cover(2, 1, [("1-", "1"), ("01", "1")])
+        path = tmp_path / "f.pla"
+        write_pla_file(path, on)
+        on2, _, _, _ = parse_pla_file(path)
+        assert on2.functionally_equal(on)
+
+    def test_minimise_then_export(self):
+        on = _cover(2, 1, [("00", "1"), ("01", "1"), ("10", "1"), ("11", "1")])
+        result = minimize(on)
+        text = write_pla(result.cover)
+        assert "--" in text

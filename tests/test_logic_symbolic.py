@@ -1,0 +1,81 @@
+"""Unit tests for symbolic (multiple-valued input) minimisation."""
+
+from __future__ import annotations
+
+from repro.fsm import FSM, Transition
+from repro.logic import symbolic_implicant_count, symbolic_minimize
+
+
+def _fsm(transitions, inputs=2, outputs=1):
+    return FSM("sym", inputs, outputs, transitions)
+
+
+class TestSymbolicMinimize:
+    def test_groups_states_with_identical_behaviour(self):
+        # Both a and b go to c on input 1- with output 1: one implicant.
+        fsm = _fsm(
+            [
+                Transition("1-", "a", "c", "1"),
+                Transition("1-", "b", "c", "1"),
+                Transition("0-", "a", "a", "0"),
+                Transition("0-", "b", "b", "0"),
+                Transition("--", "c", "a", "0"),
+            ]
+        )
+        implicants = symbolic_minimize(fsm)
+        grouped = [imp for imp in implicants if imp.group_size == 2]
+        assert grouped, "states a and b should share one symbolic implicant"
+        group = grouped[0]
+        assert group.present_states == frozenset({"a", "b"})
+        assert group.next_state == "c"
+
+    def test_merges_adjacent_input_cubes(self):
+        fsm = _fsm(
+            [
+                Transition("10", "a", "b", "1"),
+                Transition("11", "a", "b", "1"),
+                Transition("0-", "a", "a", "0"),
+                Transition("--", "b", "a", "0"),
+            ]
+        )
+        implicants = symbolic_minimize(fsm)
+        cubes = {imp.inputs for imp in implicants if imp.next_state == "b"}
+        assert "1-" in cubes
+
+    def test_count_is_lower_bound(self, small_controller):
+        count = symbolic_implicant_count(small_controller)
+        assert 0 < count <= len(small_controller.transitions)
+
+    def test_transitions_preserved_inside_implicants(self, small_controller):
+        implicants = symbolic_minimize(small_controller)
+        total = sum(len(imp.transitions) for imp in implicants)
+        assert total == len(small_controller.transitions)
+
+    def test_different_outputs_do_not_merge(self):
+        fsm = _fsm(
+            [
+                Transition("1-", "a", "c", "1"),
+                Transition("1-", "b", "c", "0"),
+                Transition("0-", "a", "a", "0"),
+                Transition("0-", "b", "b", "0"),
+                Transition("--", "c", "a", "0"),
+            ]
+        )
+        implicants = symbolic_minimize(fsm)
+        for imp in implicants:
+            if imp.group_size > 1:
+                assert imp.outputs in ("0", "1", "-")
+                # a and b must not be merged because their outputs differ
+                assert imp.present_states != frozenset({"a", "b"})
+
+    def test_unspecified_next_state_handled(self, incomplete_fsm):
+        completed = incomplete_fsm.completed()
+        implicants = symbolic_minimize(completed)
+        assert any(imp.next_state is None for imp in implicants)
+
+    def test_deterministic_result(self, small_controller):
+        a = symbolic_minimize(small_controller)
+        b = symbolic_minimize(small_controller)
+        assert [(i.inputs, i.present_states, i.next_state, i.outputs) for i in a] == [
+            (i.inputs, i.present_states, i.next_state, i.outputs) for i in b
+        ]

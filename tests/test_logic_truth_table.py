@@ -1,0 +1,60 @@
+"""Unit tests for the symbolic truth-table builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import TruthTable
+
+
+class TestTruthTable:
+    def test_row_validation(self):
+        table = TruthTable(2, 2)
+        with pytest.raises(ValueError):
+            table.add_row("101", "10")
+        with pytest.raises(ValueError):
+            table.add_row("10", "102")
+        with pytest.raises(ValueError):
+            table.add_row("1x", "10")
+
+    def test_to_covers_split_on_and_dc(self):
+        table = TruthTable(2, 2)
+        table.add_row("1-", "1-")
+        table.add_row("0-", "01")
+        on, dc = table.to_covers()
+        assert len(on) == 2
+        assert len(dc) == 1
+        # Output 0 ON-set is the cube 1-, output 1 DC-set is the cube 1-.
+        assert on.cubes_for_output(0)[0].input_string() == "1-"
+        assert dc.cubes_for_output(1)[0].input_string() == "1-"
+
+    def test_all_zero_row_contributes_nothing(self):
+        table = TruthTable(2, 1)
+        table.add_row("11", "0")
+        on, dc = table.to_covers()
+        assert len(on) == 0
+        assert len(dc) == 0
+
+    def test_dont_care_row(self):
+        table = TruthTable(3, 2)
+        table.add_dont_care_row("1--")
+        on, dc = table.to_covers()
+        assert len(on) == 0
+        assert len(dc) == 1
+        assert dc.cubes[0].outputs == 0b11
+
+    def test_rows_property_and_len(self):
+        table = TruthTable(1, 1)
+        table.add_row("1", "1")
+        table.add_row("0", "0")
+        assert len(table) == 2
+        assert table.rows[0].inputs == "1"
+
+    def test_pla_text(self):
+        table = TruthTable(2, 1)
+        table.add_row("1-", "1")
+        text = table.to_pla_text()
+        assert ".i 2" in text
+        assert ".o 1" in text
+        assert "1- 1" in text
+        assert text.rstrip().endswith(".e")

@@ -1,0 +1,47 @@
+"""Unit tests for the text table rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import format_comparison, format_paper_vs_measured, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"], [["dk16", 76], ["tbk", 159]], title="Table 2")
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "dk16" in lines[3]
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[91.7]])
+        assert "91.70" in text
+
+
+class TestFormatComparison:
+    def test_dict_rows(self):
+        rows = [{"structure": "PST", "terms": 10}, {"structure": "DFF", "terms": 12}]
+        text = format_comparison(rows, title="cmp")
+        assert "PST" in text and "DFF" in text
+        assert text.splitlines()[0] == "cmp"
+
+    def test_empty_rows(self):
+        assert format_comparison([], title="nothing") == "nothing"
+
+
+class TestPaperVsMeasured:
+    def test_benchmark_column_first(self):
+        rows = [{"paper": 76, "benchmark": "dk16", "measured": 79}]
+        text = format_paper_vs_measured(rows)
+        header = text.splitlines()[0].split()
+        assert header[0] == "benchmark"
+
+    def test_empty(self):
+        assert format_paper_vs_measured([], title="t") == "t"
