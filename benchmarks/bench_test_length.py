@@ -12,6 +12,7 @@ pattern counts needed to reach a common coverage target are compared.
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 from repro.bist import BISTStructure, synthesize
@@ -28,15 +29,19 @@ MAX_PATTERNS = 192
 COVERAGE_TARGET = 0.75
 
 
-def _run_test_length() -> Dict[str, object]:
+def _run_test_length(engine: str = "compiled") -> Dict[str, object]:
     fsm = generate_controller(
         "selftest", num_states=10, num_inputs=4, num_outputs=3, num_transitions=36, seed=23
     )
     pst_controller = synthesize(fsm, BISTStructure.PST)
     dff_controller = synthesize(fsm, BISTStructure.DFF)
 
-    pst = simulate_parallel_self_test(pst_controller, max_patterns=MAX_PATTERNS, seed=5)
-    dff = simulate_conventional_self_test(dff_controller, max_patterns=MAX_PATTERNS, seed=5)
+    pst = simulate_parallel_self_test(
+        pst_controller, max_patterns=MAX_PATTERNS, seed=5, engine=engine
+    )
+    dff = simulate_conventional_self_test(
+        dff_controller, max_patterns=MAX_PATTERNS, seed=5, engine=engine
+    )
     summary = compare_test_lengths(pst, dff, target=COVERAGE_TARGET)
     summary["pst_total_faults"] = pst.total_faults
     summary["dff_total_faults"] = dff.total_faults
@@ -73,3 +78,43 @@ def test_parallel_vs_conventional_test_length(benchmark):
     # asserted here; the measured ratio is recorded for EXPERIMENTS.md.
     ratio = summary["ratio"]
     assert ratio is not None and 0.2 <= ratio <= 5.0
+
+
+def test_test_length_engine_matches_legacy(benchmark):
+    """The compiled engine must reproduce the E6 experiment bit-exactly.
+
+    Both self-test sessions are run through the compiled engine and through
+    the seed's interpreted loop; every reported quantity (curves included)
+    must be identical, and the wall-clock ratio is recorded as the
+    experiment-level speedup of the engine PR.
+    """
+
+    def _run_both() -> Dict[str, object]:
+        start = time.perf_counter()
+        compiled = _run_test_length(engine="compiled")
+        compiled_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        legacy = _run_test_length(engine="legacy")
+        legacy_seconds = time.perf_counter() - start
+        return {
+            "compiled": compiled,
+            "legacy": legacy,
+            "compiled_seconds": compiled_seconds,
+            "legacy_seconds": legacy_seconds,
+        }
+
+    outcome = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    assert outcome["compiled"] == outcome["legacy"]
+    speedup = outcome["legacy_seconds"] / outcome["compiled_seconds"]
+    print()
+    print(
+        f"E6 experiment: compiled {outcome['compiled_seconds']:.2f} s, "
+        f"legacy {outcome['legacy_seconds']:.2f} s ({speedup:.1f}x)"
+    )
+    benchmark.extra_info.update(
+        {
+            "compiled_seconds": outcome["compiled_seconds"],
+            "legacy_seconds": outcome["legacy_seconds"],
+            "speedup": speedup,
+        }
+    )

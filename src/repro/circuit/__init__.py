@@ -8,6 +8,7 @@ from .faults import (
     enumerate_faults,
     random_input_words,
 )
+from .engine import CompiledFaultEngine
 from .selftest import (
     SelfTestResult,
     compare_test_lengths,
@@ -27,6 +28,7 @@ __all__ = [
     "StuckAtFault",
     "FaultSimulationResult",
     "FaultSimulator",
+    "CompiledFaultEngine",
     "enumerate_faults",
     "random_input_words",
     "SelfTestResult",

@@ -16,6 +16,11 @@ EsWu 91).  This module turns those arguments into measurable experiments:
   responses are captured in a separate MISR.
 * :func:`patterns_for_coverage` — the pattern count needed to reach a
   target stuck-at coverage, the quantity compared in the E6 experiment.
+
+Both sessions fault-simulate through the compiled engine of
+:mod:`repro.circuit.engine` by default (``engine="compiled"``); pass
+``engine="legacy"`` to use the original interpreted loop and ``jobs`` to
+shard the fault list across processes.
 """
 
 from __future__ import annotations
@@ -62,10 +67,17 @@ def simulate_parallel_self_test(
     max_patterns: int = 512,
     seed: int = 0,
     netlist: Optional[Netlist] = None,
+    engine: str = "compiled",
+    jobs: int = 1,
 ) -> SelfTestResult:
-    """Run a PST-style self-test: system mode, random primary-input patterns."""
+    """Run a PST-style self-test: system mode, random primary-input patterns.
+
+    The session is one sequential run, so the simulation uses a single
+    pattern lane per cycle (``word_width=1``); ``engine``/``jobs`` select
+    the fault-simulation back end (see :class:`repro.circuit.faults.FaultSimulator`).
+    """
     circuit = netlist if netlist is not None else netlist_from_controller(controller)
-    simulator = FaultSimulator(circuit, word_width=1)
+    simulator = FaultSimulator(circuit, word_width=1, engine=engine, jobs=jobs)
     rng = random.Random(seed)
     sequence = [
         {name: rng.getrandbits(1) for name in circuit.primary_inputs}
@@ -87,6 +99,8 @@ def simulate_conventional_self_test(
     controller: SynthesizedController,
     max_patterns: int = 512,
     seed: int = 0,
+    engine: str = "compiled",
+    jobs: int = 1,
 ) -> SelfTestResult:
     """Run a DFF-style self-test of the combinational logic.
 
@@ -119,7 +133,7 @@ def simulate_conventional_self_test(
         sequence.append(vector)
         lfsr_state = generator.next_state(lfsr_state)
 
-    simulator = FaultSimulator(circuit, word_width=1)
+    simulator = FaultSimulator(circuit, word_width=1, engine=engine, jobs=jobs)
     result = simulator.run(sequence, stop_when_all_detected=False)
     return SelfTestResult(
         structure=controller.structure,

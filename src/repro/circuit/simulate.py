@@ -26,9 +26,10 @@ class StuckAtFault:
         signal: name of the faulty signal (gate output).
         value: the value the signal is stuck at (0 or 1).
         gate_input: when not ``None``, the fault affects only this input
-            *branch* of the named gate (``signal`` is then the driving signal
-            and ``gate_input`` the consuming gate's output name), modelling
-            stuck-at faults on fanout branches.
+            *branch* of the named consumer (``signal`` is then the driving
+            signal and ``gate_input`` the consuming gate's output name — or,
+            for a branch feeding a flip-flop's data input, the flip-flop's
+            state signal), modelling stuck-at faults on fanout branches.
     """
 
     signal: str
@@ -158,6 +159,12 @@ class LogicSimulator:
         """One clock cycle: returns ``(signal_values, next_state)``."""
         values = self.evaluate(primary_inputs, state, fault)
         next_state = {ff.state: values[ff.data] for ff in self.netlist.flip_flops}
+        if fault is not None and fault.gate_input is not None and fault.gate_input in next_state:
+            # Branch fault on a flip-flop's data input: the stored value is
+            # stuck while the (observable) data line itself is unaffected.
+            for ff in self.netlist.flip_flops:
+                if ff.state == fault.gate_input and ff.data == fault.signal:
+                    next_state[ff.state] = self.mask if fault.value else 0
         return values, next_state
 
     def run(

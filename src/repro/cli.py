@@ -6,7 +6,12 @@ The CLI exposes the main use cases of the library without writing Python:
   for one machine and print the result (optionally writing the minimised PLA
   and a structural Verilog netlist),
 * ``repro compare controller.kiss2`` — synthesise all four BIST structures
-  and print the Table-1-style comparison,
+  and print the Table-1-style comparison (``--fault-patterns N`` adds a
+  measured stuck-at coverage column),
+* ``repro faultsim controller.kiss2 --patterns 4096 --word-width 256`` —
+  stuck-at fault simulation of one synthesised circuit through the compiled
+  bit-parallel engine (``--engine legacy`` selects the reference loop,
+  ``--jobs N`` shards the fault list across processes),
 * ``repro benchmarks --names dk16,dk512`` — regenerate the Table 2 / Table 3
   rows for a set of MCNC benchmarks (synthetic stand-ins unless a data
   directory with the original ``.kiss2`` files is given),
@@ -58,6 +63,29 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="compare all BIST structures for one controller")
     compare.add_argument("kiss_file", type=Path)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--fault-patterns", type=int, default=None,
+                         help="also fault-simulate each structure with N random patterns")
+    compare.add_argument("--word-width", type=int, default=256,
+                         help="pattern lanes per simulated word")
+    compare.add_argument("--engine", choices=["compiled", "legacy"], default="compiled",
+                         help="fault-simulation back end")
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for fault-list sharding")
+
+    faultsim = sub.add_parser("faultsim", help="stuck-at fault simulation of one controller")
+    faultsim.add_argument("kiss_file", type=Path)
+    faultsim.add_argument("--structure", choices=[s.value for s in BISTStructure], default="PST")
+    faultsim.add_argument("--patterns", type=int, default=1024,
+                          help="number of random patterns (simulated exactly)")
+    faultsim.add_argument("--word-width", type=int, default=256,
+                          help="pattern lanes per simulated word")
+    faultsim.add_argument("--engine", choices=["compiled", "legacy"], default="compiled",
+                          help="fault-simulation back end")
+    faultsim.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for fault-list sharding")
+    faultsim.add_argument("--collapse", action="store_true",
+                          help="apply equivalence collapsing to the fault list")
+    faultsim.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("benchmarks", help="regenerate Table 2 / Table 3 rows")
     bench.add_argument("--names", default="dk512,modulo12,ex4,mark1",
@@ -78,6 +106,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_synthesize(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "faultsim":
+        return _cmd_faultsim(args)
     if args.command == "benchmarks":
         return _cmd_benchmarks(args)
     if args.command == "validate":
@@ -129,8 +159,53 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     machine = parse_kiss_file(args.kiss_file)
-    comparison = compare_structures(machine, options=SynthesisOptions(seed=args.seed))
+    comparison = compare_structures(
+        machine,
+        options=SynthesisOptions(seed=args.seed),
+        fault_patterns=args.fault_patterns,
+        word_width=args.word_width,
+        engine=args.engine,
+        jobs=args.jobs,
+    )
     print(format_comparison(comparison.as_rows(), title=f"BIST structure comparison — {machine.name}"))
+    return 0
+
+
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    import time
+
+    from .circuit.faults import FaultSimulator, enumerate_faults
+    from .circuit.netlist import netlist_from_controller
+
+    machine = parse_kiss_file(args.kiss_file)
+    structure = BISTStructure(args.structure)
+    controller = synthesize(machine, structure, options=SynthesisOptions(seed=args.seed))
+    circuit = netlist_from_controller(controller)
+    faults = enumerate_faults(circuit, collapse=args.collapse)
+
+    simulator = FaultSimulator(
+        circuit, word_width=args.word_width, engine=args.engine, jobs=args.jobs
+    )
+    start = time.perf_counter()
+    result = simulator.coverage_for_random_patterns(
+        args.patterns, seed=args.seed, faults=faults
+    )
+    elapsed = time.perf_counter() - start
+
+    rows = [
+        ["machine", machine.name],
+        ["structure", structure.value],
+        ["engine", args.engine],
+        ["word width", args.word_width],
+        ["jobs", args.jobs],
+        ["gates", circuit.gate_count()],
+        ["faults" + (" (collapsed)" if args.collapse else ""), result.total_faults],
+        ["patterns simulated", result.patterns_simulated],
+        ["detected faults", result.detected_count],
+        ["fault coverage", f"{result.coverage:.4f}"],
+        ["wall-clock seconds", round(elapsed, 3)],
+    ]
+    print(format_table(["metric", "value"], rows, title="Fault simulation"))
     return 0
 
 

@@ -64,6 +64,60 @@ class TestCompareCommand:
             assert structure in out
 
 
+class TestFaultsimCommand:
+    def test_faultsim_defaults(self, kiss_path):
+        args = build_parser().parse_args(["faultsim", str(kiss_path)])
+        assert args.engine == "compiled"
+        assert args.word_width == 256
+        assert args.jobs == 1
+        assert not args.collapse
+
+    def test_faultsim_runs_compiled(self, kiss_path, capsys):
+        exit_code = main([
+            "faultsim", str(kiss_path),
+            "--patterns", "100", "--word-width", "32",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fault simulation" in out
+        assert "fault coverage" in out
+        assert "100" in out  # exactly the requested pattern count
+
+    def test_faultsim_engines_agree(self, kiss_path, capsys):
+        main(["faultsim", str(kiss_path), "--patterns", "64", "--word-width", "16",
+              "--engine", "compiled"])
+        compiled_out = capsys.readouterr().out
+        main(["faultsim", str(kiss_path), "--patterns", "64", "--word-width", "16",
+              "--engine", "legacy"])
+        legacy_out = capsys.readouterr().out
+
+        def coverage_line(text):
+            return [l for l in text.splitlines() if "fault coverage" in l]
+
+        assert coverage_line(compiled_out) == coverage_line(legacy_out)
+
+    def test_faultsim_collapse_reduces_faults(self, kiss_path, capsys):
+        main(["faultsim", str(kiss_path), "--patterns", "16"])
+        full_out = capsys.readouterr().out
+        main(["faultsim", str(kiss_path), "--patterns", "16", "--collapse"])
+        collapsed_out = capsys.readouterr().out
+        assert "faults (collapsed)" in collapsed_out
+
+        def fault_count(text, label):
+            for line in text.splitlines():
+                if line.startswith(label):
+                    return int(line.split()[-1])
+            raise AssertionError(f"no {label!r} row in output")
+
+        assert fault_count(collapsed_out, "faults (collapsed)") < fault_count(full_out, "faults ")
+
+    def test_compare_with_fault_patterns(self, kiss_path, capsys):
+        exit_code = main(["compare", str(kiss_path), "--fault-patterns", "64",
+                          "--word-width", "16"])
+        assert exit_code == 0
+        assert "fault coverage" in capsys.readouterr().out
+
+
 class TestBenchmarksCommand:
     def test_small_sweep(self, capsys):
         exit_code = main(["benchmarks", "--names", "dk512", "--trials", "2"])
