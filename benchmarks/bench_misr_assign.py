@@ -1,0 +1,171 @@
+"""Benchmark — incremental bitmask MISR state assignment vs the reference.
+
+The incremental engine (:mod:`repro.encoding.score`) exists to make the
+paper's core algorithm — the column-by-column MISR state assignment behind
+the Table 2/3 sweeps and the E7 ablation — cheap at high search effort:
+appending a column updates cached per-implicant face masks instead of
+rescoring every assigned column, and each refinement move patches only the
+product-term groups containing the touched states instead of re-estimating
+the whole machine.  ``multi_start``/``jobs`` add process-parallel multi-start
+on top, reusing the shard-and-deterministic-merge pattern of the fault-sim
+engine.
+
+This harness runs ``assign_misr_states`` at default effort over the Table 2
+benchmark set with both engines and asserts
+
+* bit-identical results (encoding, cost, column costs, polynomial, estimate)
+  between the reference and the incremental engine at every jobs count, and
+* a >= 3x wall-clock speedup from incrementality alone (``jobs=1``) and a
+  >= 10x overall speedup at the best jobs configuration (the acceptance bar
+  of the engine PR; measured ~18x from incrementality alone on the full
+  13-machine sweep, so single-core boxes clear the overall bar too).
+
+Set ``REPRO_BENCH_SMOKE=1`` for a seconds-long smoke configuration (used by
+CI); wall-clock assertions are skipped there because shared runners make
+ratios unreliable.  Set ``REPRO_BENCH_JSON=path`` to write the summary as a
+JSON artifact (CI uploads it as ``BENCH_misr_assign.json`` so the perf
+trajectory is tracked PR over PR).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.encoding import assign_misr_states
+from repro.encoding.misr_assign import MISRAssignmentResult
+from repro.fsm import generate_controller, load_benchmark
+from repro.reporting import format_table
+
+MULTI_START = 2
+SPEEDUP_FLOOR_JOBS1 = 3.0
+SPEEDUP_FLOOR_TOTAL = 10.0
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0", "false", "no")
+
+
+def _jobs_sweep() -> List[int]:
+    best = min(4, os.cpu_count() or 1)
+    return [1] if best == 1 else [1, best]
+
+
+def _workloads(names: List[str], data_dir) -> List[tuple]:
+    if _smoke():
+        fsm = generate_controller(
+            "smoke", num_states=8, num_inputs=2, num_outputs=2, num_transitions=24, seed=7
+        )
+        return [("smoke", fsm), ("dk512", load_benchmark("dk512", data_dir=data_dir))]
+    return [(name, load_benchmark(name, data_dir=data_dir)) for name in names]
+
+
+def _same_result(a: MISRAssignmentResult, b: MISRAssignmentResult) -> bool:
+    return (
+        dict(a.encoding.codes) == dict(b.encoding.codes)
+        and a.lfsr.polynomial == b.lfsr.polynomial
+        and a.cost == b.cost
+        and a.column_costs == b.column_costs
+        and a.feedback_cost == b.feedback_cost
+        and a.partial_assignments_explored == b.partial_assignments_explored
+        and a.estimated_product_terms == b.estimated_product_terms
+        and a.refinement_moves == b.refinement_moves
+    )
+
+
+def _run_engine_comparison(names: List[str], data_dir) -> Dict[str, object]:
+    workloads = _workloads(names, data_dir)
+    jobs_sweep = _jobs_sweep()
+    summary: Dict[str, object] = {
+        "benchmarks": [name for name, _ in workloads],
+        "multi_start": MULTI_START,
+        "jobs_sweep": jobs_sweep,
+        "rows": [],
+    }
+
+    total: Dict[str, float] = {"reference": 0.0}
+    for jobs in jobs_sweep:
+        total[f"incremental_j{jobs}"] = 0.0
+
+    for name, fsm in workloads:
+        row: Dict[str, object] = {"benchmark": name}
+        start = time.perf_counter()
+        reference = assign_misr_states(
+            fsm, seed=0, engine="reference", multi_start=MULTI_START, jobs=1
+        )
+        row["reference_seconds"] = time.perf_counter() - start
+        total["reference"] += row["reference_seconds"]
+        row["estimated_terms"] = reference.estimated_product_terms
+
+        for jobs in jobs_sweep:
+            start = time.perf_counter()
+            incremental = assign_misr_states(
+                fsm, seed=0, engine="incremental", multi_start=MULTI_START, jobs=jobs
+            )
+            elapsed = time.perf_counter() - start
+            row[f"incremental_j{jobs}_seconds"] = elapsed
+            total[f"incremental_j{jobs}"] += elapsed
+            # The whole point of the engine split: same search, same numbers.
+            assert _same_result(reference, incremental), (name, jobs)
+        summary["rows"].append(row)
+
+    summary["reference_seconds"] = total["reference"]
+    for jobs in jobs_sweep:
+        seconds = total[f"incremental_j{jobs}"]
+        summary[f"incremental_j{jobs}_seconds"] = seconds
+        summary[f"speedup_j{jobs}"] = total["reference"] / seconds if seconds else 0.0
+    summary["speedup_best"] = max(summary[f"speedup_j{jobs}"] for jobs in jobs_sweep)
+    return summary
+
+
+def _write_artifact(summary: Dict[str, object]) -> Optional[str]:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return None
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+    return path
+
+
+def test_misr_assign_speedup(benchmark, bench_benchmarks, bench_data_dir):
+    summary = benchmark.pedantic(
+        _run_engine_comparison, args=(bench_benchmarks, bench_data_dir), rounds=1, iterations=1
+    )
+    print()
+    jobs_sweep = summary["jobs_sweep"]
+    rows = []
+    for row in summary["rows"]:
+        cells = [row["benchmark"], f"{row['reference_seconds']:.3f} s"]
+        for jobs in jobs_sweep:
+            cells.append(f"{row[f'incremental_j{jobs}_seconds']:.3f} s")
+        rows.append(cells)
+    totals = ["TOTAL", f"{summary['reference_seconds']:.3f} s"]
+    for jobs in jobs_sweep:
+        totals.append(
+            f"{summary[f'incremental_j{jobs}_seconds']:.3f} s "
+            f"({summary[f'speedup_j{jobs}']:.1f}x)"
+        )
+    rows.append(totals)
+    headers = ["benchmark", "reference"] + [f"incremental jobs={j}" for j in jobs_sweep]
+    print(format_table(headers, rows, title=f"MISR assignment engines (multi_start={MULTI_START})"))
+
+    benchmark.extra_info.update(
+        {k: v for k, v in summary.items() if isinstance(v, (int, float, str))}
+    )
+    artifact = _write_artifact(summary)
+    if artifact:
+        print(f"wrote benchmark summary to {artifact}")
+
+    if not _smoke():
+        speedup_jobs1 = summary["speedup_j1"]
+        assert speedup_jobs1 >= SPEEDUP_FLOOR_JOBS1, (
+            f"incremental engine at jobs=1 is only {speedup_jobs1:.1f}x faster than the "
+            f"reference scorer (need >= {SPEEDUP_FLOOR_JOBS1}x from incrementality alone)"
+        )
+        speedup_best = summary["speedup_best"]
+        assert speedup_best >= SPEEDUP_FLOOR_TOTAL, (
+            f"best incremental configuration is only {speedup_best:.1f}x faster than the "
+            f"reference scorer (need >= {SPEEDUP_FLOOR_TOTAL}x)"
+        )

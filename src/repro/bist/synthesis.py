@@ -19,9 +19,10 @@ produces the per-structure results needed by the Table 3 experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.assignment import StateEncoding
+from ..logic.symbolic import SymbolicImplicant
 from ..encoding.misr_assign import MISRAssignmentResult, assign_misr_states
 from ..encoding.mustang import assign_mustang
 from ..encoding.pat import assign_pat
@@ -50,6 +51,12 @@ class SynthesisOptions:
         tautology_budget: per-check node budget of the minimiser.
         quick_threshold: ON-set size above which ``"auto"`` falls back to the
             quick minimiser.
+        assignment_engine: scoring engine of the MISR state assignment —
+            ``"incremental"`` (bitmask engine) or ``"reference"`` (original
+            full-rescore implementation; bit-identical, kept as the oracle).
+        multi_start: independent MISR-assignment searches; the best wins.
+        jobs: worker processes for the multi-start fan-out (the winner is
+            deterministic, so the result never depends on ``jobs``).
     """
 
     width: Optional[int] = None
@@ -60,6 +67,9 @@ class SynthesisOptions:
     espresso_iterations: int = 3
     tautology_budget: Optional[int] = 20_000
     quick_threshold: int = 700
+    assignment_engine: str = "incremental"
+    multi_start: int = 1
+    jobs: int = 1
 
 
 @dataclass(frozen=True)
@@ -115,19 +125,23 @@ def synthesize(
     encoding: Optional[StateEncoding] = None,
     register: Optional[LFSR] = None,
     options: Optional[SynthesisOptions] = None,
+    implicants: Optional[Sequence[SymbolicImplicant]] = None,
 ) -> SynthesizedController:
     """Synthesise ``fsm`` for the given BIST ``structure``.
 
     When ``encoding`` is omitted, the structure-specific state-assignment
     algorithm is run first; when ``register`` is omitted, the default
     primitive-polynomial register of matching width is used (PST/SIG use the
-    polynomial chosen by the assignment procedure).
+    polynomial chosen by the assignment procedure).  ``implicants`` passes a
+    precomputed symbolic minimisation through to the PST/SIG state
+    assignment, so callers synthesising one machine repeatedly (sweeps,
+    multi-start studies) pay for it once.
     """
     opts = options or SynthesisOptions()
     report: Dict[str, object] = {}
 
     if encoding is None:
-        encoding, register, report = _assign_states(fsm, structure, register, opts)
+        encoding, register, report = _assign_states(fsm, structure, register, opts, implicants)
     else:
         encoding.validate_for(fsm)
         report = {"assignment": "caller-provided"}
@@ -166,6 +180,7 @@ def _assign_states(
     structure: BISTStructure,
     register: Optional[LFSR],
     opts: SynthesisOptions,
+    implicants: Optional[Sequence[SymbolicImplicant]] = None,
 ) -> Tuple[StateEncoding, Optional[LFSR], Dict[str, object]]:
     if structure is BISTStructure.DFF:
         result = assign_mustang(fsm, width=opts.width)
@@ -187,6 +202,10 @@ def _assign_states(
             beam_width=opts.beam_width,
             partitions_per_column=opts.partitions_per_column,
             seed=opts.seed,
+            implicants=implicants,
+            engine=opts.assignment_engine,
+            multi_start=opts.multi_start,
+            jobs=opts.jobs,
         )
         chosen_register = register if register is not None else result.lfsr
         return result.encoding, chosen_register, {

@@ -57,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--structure", choices=[s.value for s in BISTStructure], default="PST")
     synth.add_argument("--width", type=int, default=None, help="number of state variables")
     synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--assignment-engine", choices=["incremental", "reference"],
+                       default="incremental",
+                       help="scoring engine of the MISR state assignment")
+    synth.add_argument("--multi-start", type=int, default=1,
+                       help="independent state-assignment searches (best result wins)")
+    synth.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the multi-start fan-out")
     synth.add_argument("--pla-out", type=Path, default=None, help="write the minimised cover as PLA")
     synth.add_argument("--verilog-out", type=Path, default=None, help="write a structural Verilog netlist")
 
@@ -93,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trials", type=int, default=10, help="random encodings for Table 2")
     bench.add_argument("--data-dir", type=Path, default=None,
                        help="directory with original MCNC .kiss2 files")
+    bench.add_argument("--multi-start", type=int, default=1,
+                       help="independent PST state-assignment searches per machine")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the multi-start fan-out")
+    bench.add_argument("--assignment-engine", choices=["incremental", "reference"],
+                       default="incremental",
+                       help="scoring engine of the MISR state assignment")
 
     validate = sub.add_parser("validate", help="validate a KISS2 description")
     validate.add_argument("kiss_file", type=Path)
@@ -121,7 +135,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     machine = parse_kiss_file(args.kiss_file)
     structure = BISTStructure(args.structure)
-    options = SynthesisOptions(width=args.width, seed=args.seed)
+    options = SynthesisOptions(
+        width=args.width,
+        seed=args.seed,
+        assignment_engine=args.assignment_engine,
+        multi_start=args.multi_start,
+        jobs=args.jobs,
+    )
     controller = synthesize(machine, structure, options=options)
 
     rows = [
@@ -215,6 +235,11 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
     else:
         names = [n.strip() for n in args.names.split(",") if n.strip()]
 
+    options = SynthesisOptions(
+        multi_start=args.multi_start,
+        jobs=args.jobs,
+        assignment_engine=args.assignment_engine,
+    )
     table2: List[dict] = []
     table3: List[dict] = []
     for name in names:
@@ -225,7 +250,7 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=1991,
         )
-        heuristic = synthesize(machine, BISTStructure.PST).product_terms
+        heuristic = synthesize(machine, BISTStructure.PST, options=options).product_terms
         paper2 = PAPER_TABLE2[name]
         table2.append({
             "benchmark": name,

@@ -9,8 +9,10 @@ from .cost import (
     input_incompatibility,
     output_incompatibility,
     partial_assignment_cost,
+    validate_structure,
 )
 from .misr_assign import MISRAssignmentResult, assign_misr_states
+from .score import BeamScorer, FSMBitmaps, PartialScore, ScoredEncoding
 from .mustang import MustangResult, affinity_weights, assign_mustang
 from .pat import PATAssignmentResult, assign_pat, covered_transitions
 from .random_search import RandomSearchResult, random_encoding, random_search
@@ -27,8 +29,13 @@ __all__ = [
     "input_incompatibility",
     "output_incompatibility",
     "partial_assignment_cost",
+    "validate_structure",
     "MISRAssignmentResult",
     "assign_misr_states",
+    "BeamScorer",
+    "FSMBitmaps",
+    "PartialScore",
+    "ScoredEncoding",
     "MustangResult",
     "affinity_weights",
     "assign_mustang",

@@ -39,7 +39,21 @@ __all__ = [
     "partial_assignment_cost",
     "encoding_cost",
     "estimate_product_terms",
+    "validate_structure",
 ]
+
+#: Excitation rules understood by :func:`estimate_product_terms`.
+STRUCTURE_MODES = ("pst", "sig", "dff")
+
+
+def validate_structure(structure: str) -> str:
+    """Normalise a structure string, raising ``ValueError`` when unknown."""
+    mode = structure.lower()
+    if mode not in STRUCTURE_MODES:
+        raise ValueError(
+            f"unknown structure {structure!r}; expected one of {', '.join(STRUCTURE_MODES)}"
+        )
+    return mode
 
 
 def group_face(group: Iterable[str], prefixes: Mapping[str, str]) -> str:
@@ -206,9 +220,10 @@ def estimate_product_terms(
 
     ``structure`` selects the excitation rule: ``"pst"``/``"sig"`` use
     ``y = s+ XOR M(s)`` (``register`` must be the LFSR underlying the MISR),
-    ``"dff"`` uses ``y = s+`` (``register`` is ignored).
+    ``"dff"`` uses ``y = s+`` (``register`` is ignored).  Any other
+    ``structure`` string raises ``ValueError``.
     """
-    mode = structure.lower()
+    mode = validate_structure(structure)
     if mode in ("pst", "sig") and register is None:
         raise ValueError("a register is required for the PST/SIG estimate")
 

@@ -18,11 +18,27 @@ here follows Fig. 9 of the paper:
 
 The trade-off between run time and quality is controlled by
 ``partitions_per_column`` (the ``k`` of the paper) and ``beam_width``.
+
+Two scoring engines are available.  ``engine="incremental"`` (the default)
+scores through the bitmask engine of :mod:`repro.encoding.score`: appending a
+column updates cached per-implicant face masks instead of rescanning every
+assigned column, and the refinement phase patches the cached product-term
+group decomposition per move instead of re-estimating the whole machine.
+``engine="reference"`` keeps the original string-based full rescans; both
+engines consume the random stream identically and return **bit-identical**
+results, so the reference engine doubles as the parity oracle and the
+benchmark baseline.
+
+``multi_start=M`` runs ``M`` independent searches (seeds ``seed .. seed+M-1``)
+and keeps the best result; ``jobs=N`` spreads the starts over worker
+processes.  The winner is selected by a deterministic key, so the result does
+not depend on ``jobs``.
 """
 
 from __future__ import annotations
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -34,11 +50,13 @@ from .assignment import StateEncoding
 from .cost import (
     estimate_product_terms,
     first_column_incompatibility,
-    input_incompatibility,
-    output_incompatibility,
+    partial_assignment_cost,
 )
+from .score import BeamScorer, FSMBitmaps, PartialScore, ScoredEncoding
 
 __all__ = ["MISRAssignmentResult", "assign_misr_states"]
+
+_ENGINES = ("incremental", "reference")
 
 
 @dataclass(frozen=True)
@@ -69,6 +87,7 @@ class _Partial:
     prefixes: Dict[str, str]
     cost: int
     column_costs: List[int] = field(default_factory=list)
+    score: Optional[PartialScore] = None
 
 
 def assign_misr_states(
@@ -81,6 +100,12 @@ def assign_misr_states(
     max_polynomials: int = 16,
     refinement_passes: int = 3,
     refinement_moves_per_pass: int = 400,
+    register: str = "misr",
+    input_weight: int = 2,
+    output_weight: int = 1,
+    engine: str = "incremental",
+    multi_start: int = 1,
+    jobs: int = 1,
 ) -> MISRAssignmentResult:
     """Assign state codes for a controller with a MISR state register.
 
@@ -100,18 +125,96 @@ def assign_misr_states(
             the refinement.
         refinement_moves_per_pass: swap candidates evaluated per pass (bounds
             the refinement effort on machines with many states).
+        register: excitation rule of the cost model — ``"misr"`` (the paper's
+            ``y_i = s_i+ XOR s_{i-1}``) or ``"dff"`` (``y_i = s_i+``, the
+            ablation baseline; the returned polynomial is informational only).
+        input_weight: weight of the input (face) incompatibility term.
+        output_weight: weight of the output (excitation) incompatibility term.
+        engine: ``"incremental"`` for the bitmask scoring engine of
+            :mod:`repro.encoding.score`, ``"reference"`` for the original
+            full-rescore implementation.  Both return bit-identical results.
+        multi_start: number of independent searches (seeds ``seed`` through
+            ``seed + multi_start - 1``); the best result wins.
+        jobs: worker processes for the multi-start fan-out.  The winner is
+            picked deterministically, so the result is independent of ``jobs``.
     """
     r = width if width is not None else fsm.min_code_bits
     if (1 << r) < fsm.num_states:
         raise ValueError(f"width {r} cannot encode {fsm.num_states} states")
     if beam_width < 1 or partitions_per_column < 1:
         raise ValueError("beam_width and partitions_per_column must be >= 1")
+    if register not in ("misr", "dff"):
+        raise ValueError(f"unknown register type {register!r}")
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if multi_start < 1 or jobs < 1:
+        raise ValueError("multi_start and jobs must be >= 1")
 
-    imps = list(implicants) if implicants is not None else symbolic_minimize(fsm)
+    imps = tuple(implicants) if implicants is not None else tuple(symbolic_minimize(fsm))
+
+    if multi_start == 1:
+        return _assign_single(
+            fsm, r, beam_width, partitions_per_column, seed, imps, max_polynomials,
+            refinement_passes, refinement_moves_per_pass, register,
+            input_weight, output_weight, engine,
+        )
+
+    payloads = [
+        (
+            fsm, r, beam_width, partitions_per_column, seed + start, imps,
+            max_polynomials, refinement_passes, refinement_moves_per_pass,
+            register, input_weight, output_weight, engine,
+        )
+        for start in range(multi_start)
+    ]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, multi_start)) as pool:
+            results = list(pool.map(_assign_single_payload, payloads))
+    else:
+        results = [_assign_single_payload(p) for p in payloads]
+    # Deterministic winner: best estimate, then cost, then the earliest start,
+    # independent of how the starts were scheduled over the workers.
+    return min(
+        enumerate(results),
+        key=lambda item: (
+            item[1].estimated_product_terms,
+            item[1].cost,
+            item[1].feedback_cost,
+            item[0],
+        ),
+    )[1]
+
+
+def _assign_single_payload(payload) -> MISRAssignmentResult:
+    return _assign_single(*payload)
+
+
+def _assign_single(
+    fsm: FSM,
+    r: int,
+    beam_width: int,
+    partitions_per_column: int,
+    seed: int,
+    imps: Sequence[SymbolicImplicant],
+    max_polynomials: int,
+    refinement_passes: int,
+    refinement_moves_per_pass: int,
+    register: str,
+    input_weight: int,
+    output_weight: int,
+    engine: str,
+) -> MISRAssignmentResult:
     states = list(fsm.states)
     rng = random.Random(seed)
+    mode = "pst" if register == "misr" else "dff"
 
-    beam: List[_Partial] = [_Partial({s: "" for s in states}, 0)]
+    scorer: Optional[BeamScorer] = None
+    if engine == "incremental":
+        scorer = BeamScorer(FSMBitmaps(states, imps), register, input_weight, output_weight)
+
+    beam: List[_Partial] = [
+        _Partial({s: "" for s in states}, 0, [], scorer.initial() if scorer else None)
+    ]
     explored = 0
 
     for column in range(r):
@@ -124,9 +227,13 @@ def assign_misr_states(
             for partition in partitions:
                 explored += 1
                 prefixes = {s: partial.prefixes[s] + partition[s] for s in states}
-                cost = 2 * input_incompatibility(imps, prefixes) + sum(
-                    output_incompatibility(imps, prefixes, col) for col in range(column + 1)
-                )
+                if scorer is not None:
+                    score, cost = scorer.append_column(partial.score, partition)
+                else:
+                    score = None
+                    cost = partial_assignment_cost(
+                        imps, prefixes, column, register, input_weight, output_weight
+                    )
                 # Branch-and-bound pruning: the cost is monotone in the number
                 # of assigned columns, so partials already worse than the best
                 # candidate cannot recover.
@@ -135,7 +242,7 @@ def assign_misr_states(
                 if best_cost_so_far is None or cost < best_cost_so_far:
                     best_cost_so_far = cost
                 candidates.append(
-                    _Partial(prefixes, cost, partial.column_costs + [cost])
+                    _Partial(prefixes, cost, partial.column_costs + [cost], score)
                 )
         if not candidates:
             raise RuntimeError("no feasible partition found; width too small?")
@@ -151,7 +258,7 @@ def assign_misr_states(
         lfsr, feedback_cost = _choose_feedback_polynomial(
             candidate_encoding, imps, r, max_polynomials
         )
-        estimate = estimate_product_terms(fsm, candidate_encoding, lfsr, "pst")
+        estimate = _estimate(fsm, candidate_encoding, lfsr, mode, engine)
         scored_beam.append((estimate, candidate, lfsr, feedback_cost))
     scored_beam.sort(key=lambda item: item[0])
     best_estimate, best, lfsr, feedback_cost = scored_beam[0]
@@ -165,12 +272,14 @@ def assign_misr_states(
         refinement_passes,
         refinement_moves_per_pass,
         rng,
+        mode,
+        engine,
     )
     # The feedback polynomial is re-selected for the refined code assignment,
     # this time directly on the product-term estimate.
     for poly in primitive_polynomials(r, limit=max_polynomials):
         candidate_lfsr = LFSR(r, poly)
-        estimate = estimate_product_terms(fsm, encoding, candidate_lfsr, "pst")
+        estimate = _estimate(fsm, encoding, candidate_lfsr, mode, engine)
         if estimate < best_estimate:
             best_estimate = estimate
             lfsr = candidate_lfsr
@@ -190,6 +299,15 @@ def assign_misr_states(
 
 
 _PRUNE_SLACK = 2  # candidates this much above the column best are discarded
+
+
+def _estimate(
+    fsm: FSM, encoding: StateEncoding, lfsr: LFSR, mode: str, engine: str
+) -> int:
+    """Full product-term estimate through the selected engine."""
+    if engine == "incremental":
+        return ScoredEncoding(fsm, encoding, lfsr, mode).estimate
+    return estimate_product_terms(fsm, encoding, lfsr, mode)
 
 
 # ----------------------------------------------------------- candidate moves
@@ -340,6 +458,8 @@ def _refine_encoding(
     passes: int,
     moves_per_pass: int,
     rng: random.Random,
+    mode: str,
+    engine: str,
 ) -> Tuple[StateEncoding, int, int]:
     """Hill-climb on code swaps, guided by the product-term estimator.
 
@@ -347,6 +467,11 @@ def _refine_encoding(
     state onto an unused code.  A move is accepted when it strictly lowers the
     estimated product-term count.  The number of candidate moves per pass is
     bounded so that machines with many states stay tractable.
+
+    With the incremental engine the estimator state lives in a
+    :class:`repro.encoding.score.ScoredEncoding`: each candidate move is
+    previewed by re-deriving only the product-term groups containing the
+    touched states, and committed only when accepted.
     """
     if passes <= 0:
         return encoding, current_estimate, 0
@@ -354,29 +479,50 @@ def _refine_encoding(
     codes = dict(encoding.codes)
     states = list(codes)
     width = encoding.width
+    used = set(codes.values())
     accepted = 0
+
+    scored: Optional[ScoredEncoding] = None
+    if engine == "incremental":
+        scored = ScoredEncoding(fsm, encoding, lfsr, mode)
 
     for _ in range(passes):
         improved = False
         moves = _swap_candidates(states, codes, width, moves_per_pass, rng)
         for kind, a, b in moves:
-            trial = dict(codes)
             if kind == "swap":
-                trial[a], trial[b] = trial[b], trial[a]
+                changed = {a: codes[b], b: codes[a]}
             else:  # relocate state a onto a code that is (still) unused
-                if b in codes.values():
+                if b in used:
                     continue
-                trial[a] = b
-            trial_encoding = StateEncoding(width, trial)
-            estimate = estimate_product_terms(fsm, trial_encoding, lfsr, "pst")
+                changed = {a: b}
+            if scored is not None:
+                estimate, patch = scored.preview(
+                    {s: int(c, 2) for s, c in changed.items()}
+                )
+            else:
+                trial = dict(codes)
+                trial.update(changed)
+                estimate = estimate_product_terms(
+                    fsm, StateEncoding(width, trial), lfsr, mode
+                )
+                patch = None
             if estimate < current_estimate:
-                codes = trial
+                used.difference_update(codes[s] for s in changed)
+                codes.update(changed)
+                used.update(changed.values())
                 current_estimate = estimate
                 accepted += 1
                 improved = True
+                if scored is not None:
+                    scored.commit(patch)
         if not improved:
             break
     return StateEncoding(width, codes), current_estimate, accepted
+
+
+#: Unused-code moves examined per pass once sampling kicks in (wide registers).
+_UNUSED_SAMPLE_CAP = 64
 
 
 def _swap_candidates(
@@ -386,14 +532,34 @@ def _swap_candidates(
     limit: int,
     rng: random.Random,
 ) -> List[Tuple[str, str, str]]:
-    """Candidate refinement moves: ``("swap", s, t)`` or ``("move", s, code)``."""
+    """Candidate refinement moves: ``("swap", s, t)`` or ``("move", s, code)``.
+
+    The unused-code targets of the ``move`` kind are enumerated exhaustively
+    only while the code space is small; for wide registers (where ``2**width``
+    dwarfs the state count) a bounded random sample of unused codes is drawn
+    instead, so move generation stays linear in the number of states.  At the
+    minimum width the exhaustive branch is always taken, which keeps the
+    random stream (and therefore the result) identical to the reference
+    behaviour.
+    """
     moves: List[Tuple[str, str, str]] = []
     for i, a in enumerate(states):
         for b in states[i + 1 :]:
             moves.append(("swap", a, b))
     used = set(codes.values())
-    unused = [format(v, f"0{width}b") for v in range(1 << width)]
-    unused = [c for c in unused if c not in used]
+    space = 1 << width
+    bound = max(len(states), _UNUSED_SAMPLE_CAP)
+    if space - len(used) <= bound:
+        unused = [format(v, f"0{width}b") for v in range(space)]
+        unused = [c for c in unused if c not in used]
+    else:
+        seen = set(used)
+        unused = []
+        while len(unused) < bound:
+            code = format(rng.randrange(space), f"0{width}b")
+            if code not in seen:
+                seen.add(code)
+                unused.append(code)
     for state in states:
         for code in unused:
             moves.append(("move", state, code))

@@ -109,3 +109,16 @@ class TestEstimateProductTerms:
         lfsr = LFSR(2, 0b111)
         estimate = estimate_product_terms(paper_example_fsm, enc, lfsr, "pst")
         assert estimate <= len(paper_example_fsm.transitions)
+
+    def test_unknown_structure_raises(self, small_controller):
+        # Historically any unrecognised structure string silently fell back to
+        # the "dff" rule; it is now a hard error.
+        enc = natural_encoding(small_controller)
+        lfsr = LFSR.with_primitive_polynomial(enc.width)
+        with pytest.raises(ValueError, match="unknown structure"):
+            estimate_product_terms(small_controller, enc, lfsr, "pat")
+        with pytest.raises(ValueError, match="unknown structure"):
+            estimate_product_terms(small_controller, enc, lfsr, "")
+        # Case is normalised, not rejected.
+        assert estimate_product_terms(small_controller, enc, lfsr, "PST") == \
+            estimate_product_terms(small_controller, enc, lfsr, "pst")
