@@ -1,28 +1,30 @@
 """Experiment E4 — Table 1: quantitative comparison of the BIST structures.
 
 Table 1 of the paper is qualitative (``++`` ... ``--``).  This harness makes
-it quantitative for a concrete controller: all four structures are
-synthesised and the measurable proxies behind each Table 1 criterion are
-collected — combinational product terms (area), register bits (storage
-elements), mode multiplexers and data-path XORs (speed), control signals
-(test control effort) and whether an at-speed test of the system-mode
-excitation paths is possible (dynamic fault detection).  The assertions check
-that the measured ordering matches the paper's qualitative ranking.
+it quantitative for a concrete controller: all four structures run through
+the staged flow pipeline and the measurable proxies behind each Table 1
+criterion are collected from the serialized flow results — combinational
+product terms (area), register bits (storage elements), mode multiplexers
+and data-path XORs (speed), control signals (test control effort) and
+whether an at-speed test of the system-mode excitation paths is possible
+(dynamic fault detection).  The assertions check that the measured ordering
+matches the paper's qualitative ranking.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bist import BISTStructure, compare_structures
-from repro.fsm import load_benchmark
-from repro.reporting import format_comparison
+from repro.flow import FlowConfig, run_flow
+from repro.reporting import format_comparison, structure_rows_from_results
 
 
 def _run_table1(name: str, data_dir) -> List[Dict[str, object]]:
-    fsm = load_benchmark(name, data_dir=data_dir)
-    comparison = compare_structures(fsm)
-    return comparison.as_rows()
+    results = [
+        run_flow(name, FlowConfig(structure=structure), data_dir=data_dir).to_dict()
+        for structure in ("DFF", "PAT", "SIG", "PST")
+    ]
+    return structure_rows_from_results(results)
 
 
 def test_table1_structure_comparison(benchmark, bench_data_dir):

@@ -2,42 +2,41 @@
 
 The paper compares its MISR state-assignment heuristic against the average
 and the best of 50 randomly selected encodings, measured in product terms
-after two-level minimisation.  This harness regenerates the table: for every
-benchmark it synthesises the PST structure once with the heuristic assignment
-and ``trials`` times with random encodings, then prints paper-vs-measured
-rows.  The expected *shape* is ``heuristic <= average of random`` (the paper
-additionally reports ``heuristic <= best of 50 random`` on every machine).
+after two-level minimisation.  This harness regenerates the table as a thin
+client of the flow layer: one :class:`repro.flow.Sweep` runs the heuristic
+PST cell and the random-encoding baseline for every benchmark through the
+shared orchestrator, then prints paper-vs-measured rows.  The expected
+*shape* is ``heuristic <= average of random`` (the paper additionally
+reports ``heuristic <= best of 50 random`` on every machine).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bist import BISTStructure, synthesize
-from repro.encoding import random_search
-from repro.fsm import PAPER_TABLE2, load_benchmark
+from repro.flow import Sweep
+from repro.fsm import PAPER_TABLE2
 from repro.reporting import format_paper_vs_measured
 
 
-def _pst_product_terms(fsm, encoding=None) -> int:
-    return synthesize(fsm, BISTStructure.PST, encoding=encoding).product_terms
-
-
 def _run_table2(names: List[str], trials: int, data_dir) -> List[Dict[str, object]]:
+    sweep = Sweep(
+        names,
+        structures=("PST",),
+        random_trials=trials,
+        random_seed=1991,
+        data_dir=data_dir,
+    ).run()
     rows: List[Dict[str, object]] = []
     for name in names:
-        fsm = load_benchmark(name, data_dir=data_dir)
-        search = random_search(
-            fsm, lambda enc, fsm=fsm: _pst_product_terms(fsm, enc), trials=trials, seed=1991
-        )
-        heuristic = _pst_product_terms(fsm)
+        baseline = sweep.baselines[name]
         paper = PAPER_TABLE2[name]
         rows.append(
             {
                 "benchmark": name,
-                "random avg (measured)": round(search.average_cost, 1),
-                "random best (measured)": int(search.best_cost),
-                "heuristic (measured)": heuristic,
+                "random avg (measured)": round(baseline.average, 1),
+                "random best (measured)": baseline.best,
+                "heuristic (measured)": sweep.result_for(name, "PST").product_terms,
                 "random avg (paper)": paper.random_average,
                 "random best (paper)": paper.random_best,
                 "heuristic (paper)": paper.heuristic,

@@ -1,9 +1,13 @@
 """Experiment E3 — Table 3 (right half): multi-level literal counts.
 
-Same synthesis runs as E2, but the minimised covers are additionally pushed
-through the algebraic common-cube extraction of :mod:`repro.logic.factor` to
-obtain a factored-form literal count (the paper used mustang + misII for this
-column).  The shape to reproduce: PST/SIG literal counts stay comparable to
+Same sweep as E2, but the compared metric is the factored-form literal
+count after the algebraic common-cube extraction of
+:mod:`repro.logic.factor` (the paper used mustang + misII for this column).
+The flow's minimize stage computes both metrics in one pass, so this
+harness is the same :class:`repro.flow.Sweep` reading a different column
+(point both harnesses at one ``Sweep(..., cache=...)`` directory and the
+E2/E3 pair does the synthesis work once).  The shape to reproduce:
+PST/SIG literal counts stay comparable to
 DFF — the MISR state register does not force a multi-level area blow-up.
 """
 
@@ -11,23 +15,22 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bist import BISTStructure, synthesize_all_structures
-from repro.fsm import PAPER_TABLE3, load_benchmark
+from repro.flow import Sweep
+from repro.fsm import PAPER_TABLE3
 from repro.reporting import format_paper_vs_measured
 
 
 def _run_table3_literals(names: List[str], data_dir) -> List[Dict[str, object]]:
+    sweep = Sweep(names, structures=("PST", "DFF", "PAT"), data_dir=data_dir).run()
     rows: List[Dict[str, object]] = []
     for name in names:
-        fsm = load_benchmark(name, data_dir=data_dir)
-        results = synthesize_all_structures(fsm)
         paper = PAPER_TABLE3[name]
         rows.append(
             {
                 "benchmark": name,
-                "PST/SIG (measured)": results[BISTStructure.PST].multilevel_literals(),
-                "DFF (measured)": results[BISTStructure.DFF].multilevel_literals(),
-                "PAT (measured)": results[BISTStructure.PAT].multilevel_literals(),
+                "PST/SIG (measured)": sweep.result_for(name, "PST").multilevel_literals,
+                "DFF (measured)": sweep.result_for(name, "DFF").multilevel_literals,
+                "PAT (measured)": sweep.result_for(name, "PAT").multilevel_literals,
                 "PST/SIG (paper)": paper.literals_pst_sig,
                 "DFF (paper)": paper.literals_dff,
                 "PAT (paper)": paper.literals_pat,

@@ -2,33 +2,33 @@
 
 For every benchmark the three BIST structures are synthesised with their
 structure-specific state assignment and minimised with the two-level
-heuristic minimiser.  The paper's observation to reproduce: the PST/SIG
-structure costs about the same combinational logic as the conventional DFF
-solution (sometimes a little more, sometimes less), while PAT reduces the
-logic by roughly 10-20 % relative to DFF.
+heuristic minimiser — one :class:`repro.flow.Sweep` over the
+``machines x {PST, DFF, PAT}`` grid.  The paper's observation to reproduce:
+the PST/SIG structure costs about the same combinational logic as the
+conventional DFF solution (sometimes a little more, sometimes less), while
+PAT reduces the logic by roughly 10-20 % relative to DFF.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bist import BISTStructure, synthesize_all_structures
-from repro.fsm import PAPER_TABLE3, load_benchmark
+from repro.flow import Sweep
+from repro.fsm import PAPER_TABLE3
 from repro.reporting import format_paper_vs_measured
 
 
 def _run_table3_terms(names: List[str], data_dir) -> List[Dict[str, object]]:
+    sweep = Sweep(names, structures=("PST", "DFF", "PAT"), data_dir=data_dir).run()
     rows: List[Dict[str, object]] = []
     for name in names:
-        fsm = load_benchmark(name, data_dir=data_dir)
-        results = synthesize_all_structures(fsm)
         paper = PAPER_TABLE3[name]
         rows.append(
             {
                 "benchmark": name,
-                "PST/SIG (measured)": results[BISTStructure.PST].product_terms,
-                "DFF (measured)": results[BISTStructure.DFF].product_terms,
-                "PAT (measured)": results[BISTStructure.PAT].product_terms,
+                "PST/SIG (measured)": sweep.result_for(name, "PST").product_terms,
+                "DFF (measured)": sweep.result_for(name, "DFF").product_terms,
+                "PAT (measured)": sweep.result_for(name, "PAT").product_terms,
                 "PST/SIG (paper)": paper.terms_pst_sig,
                 "DFF (paper)": paper.terms_dff,
                 "PAT (paper)": paper.terms_pat,

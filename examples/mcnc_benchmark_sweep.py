@@ -1,26 +1,29 @@
 #!/usr/bin/env python3
 """Sweep the MCNC benchmark suite and reproduce the paper's result tables.
 
-This is the command-line version of the benchmark harness: it loads every
-benchmark referenced in the paper (or the original ``.kiss2`` files if a data
-directory is given), synthesises the PST/SIG, DFF and PAT structures, runs
-the random-encoding baseline for Table 2 and prints paper-vs-measured rows
-for Tables 2 and 3.
+This is the command-line version of the benchmark harness, built on the
+staged flow API: one :class:`repro.Sweep` runs every benchmark referenced
+in the paper (or the original ``.kiss2`` files if a data directory is
+given) through the ``machines x {PST, DFF, PAT}`` grid plus the Table 2
+random-encoding baseline, optionally fanned out over a process pool and
+backed by the content-addressed artifact cache — a re-run with ``--cache``
+serves every unchanged cell from disk and only prints.
 
 Run with::
 
-    python examples/mcnc_benchmark_sweep.py [--trials N] [--names a,b,c] [--data-dir PATH]
+    python examples/mcnc_benchmark_sweep.py [--trials N] [--names a,b,c]
+        [--data-dir PATH] [--jobs N] [--cache DIR] [--json OUT.json]
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import List
 
-from repro.bist import BISTStructure, synthesize, synthesize_all_structures
-from repro.encoding import random_search
-from repro.fsm import PAPER_TABLE2, PAPER_TABLE3, benchmark_names, load_benchmark
-from repro.reporting import format_paper_vs_measured
+from repro import Sweep
+from repro.fsm import benchmark_names
+from repro.reporting import format_paper_vs_measured, sweep_table2_rows, sweep_table3_rows
 
 
 def parse_args() -> argparse.Namespace:
@@ -31,6 +34,12 @@ def parse_args() -> argparse.Namespace:
                         help="comma-separated benchmark names, or 'all'")
     parser.add_argument("--data-dir", type=str, default=None,
                         help="directory containing original MCNC .kiss2 files")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep's shared pool")
+    parser.add_argument("--cache", type=str, default=None,
+                        help="artifact-cache directory (re-runs skip unchanged cells)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the serialized SweepResult to this file")
     return parser.parse_args()
 
 
@@ -44,50 +53,35 @@ def main() -> None:
     args = parse_args()
     names = selected_names(args.names)
 
-    table2_rows = []
-    table3_rows = []
-    for name in names:
-        machine = load_benchmark(name, data_dir=args.data_dir)
-        print(f"[{name}] {machine.num_states} states, {len(machine.transitions)} transitions ...")
+    sweep = Sweep(
+        names,
+        structures=("PST", "DFF", "PAT"),
+        random_trials=args.trials,
+        random_seed=1991,
+        jobs=args.jobs,
+        cache=args.cache,
+        data_dir=args.data_dir,
+    )
+    result = sweep.run()
+    sweep_dict = result.to_dict()
 
-        search = random_search(
-            machine,
-            lambda enc, m=machine: synthesize(m, BISTStructure.PST, encoding=enc).product_terms,
-            trials=args.trials,
-            seed=1991,
-        )
-        heuristic = synthesize(machine, BISTStructure.PST).product_terms
-        paper2 = PAPER_TABLE2[name]
-        table2_rows.append({
-            "benchmark": name,
-            "random avg": round(search.average_cost, 1),
-            "random best": int(search.best_cost),
-            "heuristic": heuristic,
-            "paper avg": paper2.random_average,
-            "paper best": paper2.random_best,
-            "paper heuristic": paper2.heuristic,
-        })
-
-        results = synthesize_all_structures(machine)
-        paper3 = PAPER_TABLE3[name]
-        table3_rows.append({
-            "benchmark": name,
-            "PST/SIG": results[BISTStructure.PST].product_terms,
-            "DFF": results[BISTStructure.DFF].product_terms,
-            "PAT": results[BISTStructure.PAT].product_terms,
-            "paper PST/SIG": paper3.terms_pst_sig,
-            "paper DFF": paper3.terms_dff,
-            "paper PAT": paper3.terms_pat,
-        })
-
-    print()
     print(format_paper_vs_measured(
-        table2_rows, title=f"Table 2 — PST/SIG state assignment ({args.trials} random encodings)"
+        sweep_table2_rows(sweep_dict, include_paper_baseline=True),
+        title=f"Table 2 — PST/SIG state assignment ({args.trials} random encodings)",
     ))
     print()
     print(format_paper_vs_measured(
-        table3_rows, title="Table 3 — product terms per BIST structure"
+        sweep_table3_rows(sweep_dict, metric="product_terms"),
+        title="Table 3 — product terms per BIST structure",
     ))
+    print()
+    cached = sum(1 for r in result.results if r.all_cached)
+    print(f"{len(result.results)} cells in {result.total_seconds:.1f} s "
+          f"({cached} served from cache, {result.uncached_seconds:.1f} s of stage work)")
+
+    if args.json:
+        Path(args.json).write_text(result.to_json())
+        print(f"wrote serialized sweep to {args.json}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,18 @@ Typical use::
     controller = bist.synthesize(machine, bist.BISTStructure.PST)
     print(controller.product_terms, controller.sop_literals)
 
+The staged pipeline API in :mod:`repro.flow` is the recommended entry point
+for anything beyond a one-off synthesis — one serializable
+:class:`~repro.flow.FlowConfig`, one :func:`~repro.flow.run_flow` call, a
+JSON-ready :class:`~repro.flow.FlowResult`, artifact caching and batch
+sweeps::
+
+    import repro
+
+    config = repro.FlowConfig(structure="PST", fault_patterns=4096)
+    result = repro.run_flow("dk512", config, cache=repro.ArtifactCache(".cache"))
+    print(result.product_terms, result.fault_coverage)
+
 Subpackages:
     fsm       – symbolic FSM model, KISS2 I/O, benchmark registry
     logic     – cubes/covers, two-level and multi-level minimisation
@@ -21,20 +33,30 @@ Subpackages:
     encoding  – state-assignment algorithms (random, MUSTANG, PAT, MISR)
     bist      – BIST structures, excitation derivation, synthesis flow
     circuit   – gate-level netlists, logic/fault simulation, self-test runs
+    flow      – staged pipeline, artifact cache, batch sweep orchestration
     reporting – text tables for the experiment harness
 """
 
-from . import bist, circuit, encoding, fsm, lfsr, logic, reporting
-from .bist import BISTStructure, SynthesisOptions, synthesize, synthesize_all_structures
+from . import bist, circuit, encoding, flow, fsm, lfsr, logic, reporting
+from .bist import (
+    BISTStructure,
+    SynthesisOptions,
+    compare_structures,
+    synthesize,
+    synthesize_all_structures,
+)
+from .circuit.faults import FaultSimulator
 from .encoding import StateEncoding, assign_misr_states, assign_mustang, assign_pat
+from .flow import ArtifactCache, FlowConfig, FlowResult, StageResult, Sweep, SweepResult, run_flow
 from .fsm import FSM, Transition, load_benchmark, parse_kiss, parse_kiss_file
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "bist",
     "circuit",
     "encoding",
+    "flow",
     "fsm",
     "lfsr",
     "logic",
@@ -43,6 +65,15 @@ __all__ = [
     "SynthesisOptions",
     "synthesize",
     "synthesize_all_structures",
+    "compare_structures",
+    "FaultSimulator",
+    "ArtifactCache",
+    "FlowConfig",
+    "FlowResult",
+    "StageResult",
+    "Sweep",
+    "SweepResult",
+    "run_flow",
     "StateEncoding",
     "assign_misr_states",
     "assign_mustang",

@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..fsm.machine import FSM
-from .structures import BISTStructure, PAPER_TABLE1, structure_profile
-from .synthesis import SynthesisOptions, SynthesizedController, synthesize
+from .structures import BISTStructure, PAPER_TABLE1
+from .synthesis import SynthesisOptions, SynthesizedController
 
 __all__ = ["StructureMetrics", "StructureComparison", "compare_structures"]
 
@@ -67,28 +67,33 @@ class StructureComparison:
         }
 
     def as_rows(self) -> List[Dict[str, object]]:
-        """Row dictionaries for table rendering."""
-        rows: List[Dict[str, object]] = []
-        for m in self.metrics:
-            row: Dict[str, object] = {
+        """Row dictionaries for table rendering.
+
+        Delegates to the flow-dict renderer so the comparison table and
+        ``repro compare`` share one column definition that cannot drift.
+        """
+        from ..reporting.tables import structure_rows_from_results
+
+        return structure_rows_from_results([
+            {
                 "structure": m.structure.value,
-                "product terms": m.product_terms,
-                "SOP literals": m.sop_literals,
-                "multi-level literals": m.multilevel_literals,
-                "register bits": m.register_bits,
-                "control signals": m.control_signals,
-                "XORs in data path": m.xor_gates_in_system_path,
-                "mode muxes": m.mode_multiplexers,
-                "disjoint test mode": "yes" if m.disjoint_test_mode else "no",
-                "at-speed test": "yes" if m.at_speed_dynamic_fault_test else "no",
-                "autonomous transitions": m.autonomous_transitions,
+                "metrics": {
+                    "product_terms": m.product_terms,
+                    "sop_literals": m.sop_literals,
+                    "multilevel_literals": m.multilevel_literals,
+                    "register_bits": m.register_bits,
+                    "control_signals": m.control_signals,
+                    "xor_gates_in_system_path": m.xor_gates_in_system_path,
+                    "mode_multiplexers": m.mode_multiplexers,
+                    "disjoint_test_mode": m.disjoint_test_mode,
+                    "at_speed_dynamic_fault_test": m.at_speed_dynamic_fault_test,
+                    "autonomous_transitions": m.autonomous_transitions,
+                    "fault_coverage": m.fault_coverage,
+                    "fault_total": m.fault_total,
+                },
             }
-            if m.fault_coverage is not None:
-                row["fault coverage"] = f"{m.fault_coverage:.4f}"
-            if m.fault_total is not None:
-                row["total faults"] = m.fault_total
-            rows.append(row)
-        return rows
+            for m in self.metrics
+        ])
 
 
 def compare_structures(
@@ -113,43 +118,51 @@ def compare_structures(
     many — partial final words are lane-masked) and the measured stuck-at
     coverage is attached to the metrics; ``word_width``, ``engine`` and
     ``jobs`` tune the fault-simulation back end.
+
+    This is a compatibility wrapper over the staged pipeline of
+    :mod:`repro.flow` — each structure runs through :func:`repro.flow.run_flow`
+    with the same stage functions :func:`synthesize` uses, so the outputs are
+    identical to the historical per-structure synthesis loop.
     """
+    # Imported here: repro.flow builds on repro.bist, so a module-level import
+    # would be circular during package initialisation.
+    from ..flow.config import FlowConfig
+    from ..flow.pipeline import run_flow
+
     controllers: Dict[BISTStructure, SynthesizedController] = {}
     metrics: List[StructureMetrics] = []
     for structure in structures:
-        controller = synthesize(fsm, structure, options=options)
-        controllers[structure] = controller
-        profile = structure_profile(structure, controller.encoding.width)
-        fault_coverage: Optional[float] = None
-        fault_total: Optional[int] = None
-        if fault_patterns is not None:
-            from ..circuit.faults import FaultSimulator
-            from ..circuit.netlist import netlist_from_controller
-
-            circuit = netlist_from_controller(controller)
-            simulator = FaultSimulator(
-                circuit, word_width=word_width, engine=engine, jobs=jobs
-            )
-            result = simulator.coverage_for_random_patterns(
-                fault_patterns, seed=fault_seed
-            )
-            fault_coverage = result.coverage
-            fault_total = result.total_faults
+        config = FlowConfig.from_synthesis_options(
+            options,
+            structure=structure.value,
+            engine=engine,
+            word_width=word_width,
+            fault_patterns=fault_patterns,
+            fault_seed=fault_seed,
+        )
+        # The fault-sim ``jobs`` parameter must not clobber a parallelism
+        # request carried in ``options.jobs`` (the multi-start fan-out):
+        # jobs is result-neutral everywhere, so honour the larger of the two.
+        if jobs > config.jobs:
+            config = config.replace(jobs=jobs)
+        result = run_flow(fsm, config, materialize=True)
+        controllers[structure] = result.controller
+        m = result.metrics
         metrics.append(
             StructureMetrics(
                 structure=structure,
-                product_terms=controller.product_terms,
-                sop_literals=controller.sop_literals,
-                multilevel_literals=controller.multilevel_literals(),
-                register_bits=profile.register_bits,
-                control_signals=profile.control_signals,
-                xor_gates_in_system_path=profile.xor_gates_in_system_path,
-                mode_multiplexers=profile.mode_multiplexers,
-                disjoint_test_mode=profile.disjoint_test_mode,
-                at_speed_dynamic_fault_test=profile.at_speed_dynamic_fault_test,
-                autonomous_transitions=controller.excitation.autonomous_transitions,
-                fault_coverage=fault_coverage,
-                fault_total=fault_total,
+                product_terms=m["product_terms"],
+                sop_literals=m["sop_literals"],
+                multilevel_literals=m["multilevel_literals"],
+                register_bits=m["register_bits"],
+                control_signals=m["control_signals"],
+                xor_gates_in_system_path=m["xor_gates_in_system_path"],
+                mode_multiplexers=m["mode_multiplexers"],
+                disjoint_test_mode=m["disjoint_test_mode"],
+                at_speed_dynamic_fault_test=m["at_speed_dynamic_fault_test"],
+                autonomous_transitions=m["autonomous_transitions"],
+                fault_coverage=m["fault_coverage"],
+                fault_total=m["fault_total"],
             )
         )
     return StructureComparison(fsm.name, tuple(metrics), controllers)

@@ -42,7 +42,10 @@ class ExcitationTable:
         encoding: the state encoding used.
         register: the LFSR underlying the register (``None`` for DFF).
         table: the symbolic truth table (one row per transition plus the
-            don't-care rows for unused codes).
+            don't-care rows for unused codes).  ``None`` when the table was
+            reconstructed from flow cache artifacts, which persist only the
+            covers — everything the minimiser, netlist and Verilog/PLA
+            writers consume.
         on_set / dc_set: the covers handed to the two-level minimiser.
         input_names / output_names: signal names, primary signals first.
         num_primary_inputs / num_primary_outputs: widths of the FSM interface.
@@ -55,7 +58,7 @@ class ExcitationTable:
     fsm_name: str
     encoding: StateEncoding
     register: Optional[LFSR]
-    table: TruthTable
+    table: Optional[TruthTable]
     on_set: Cover
     dc_set: Cover
     input_names: Tuple[str, ...]

@@ -33,7 +33,14 @@ from ..logic.factor import multilevel_literal_count
 from .excitation import ExcitationTable, derive_excitation
 from .structures import BISTStructure, StructureProfile, structure_profile
 
-__all__ = ["SynthesisOptions", "SynthesizedController", "synthesize", "synthesize_all_structures"]
+__all__ = [
+    "SynthesisOptions",
+    "SynthesizedController",
+    "synthesize",
+    "synthesize_all_structures",
+    "assign_states",
+    "minimize_excitation",
+]
 
 
 @dataclass(frozen=True)
@@ -141,13 +148,13 @@ def synthesize(
     report: Dict[str, object] = {}
 
     if encoding is None:
-        encoding, register, report = _assign_states(fsm, structure, register, opts, implicants)
+        encoding, register, report = assign_states(fsm, structure, register, opts, implicants)
     else:
         encoding.validate_for(fsm)
         report = {"assignment": "caller-provided"}
 
     excitation = derive_excitation(fsm, encoding, structure, register=register)
-    minimization = _minimize_excitation(excitation, opts)
+    minimization = minimize_excitation(excitation, opts)
     return SynthesizedController(
         fsm=fsm,
         structure=structure,
@@ -172,16 +179,20 @@ def synthesize_all_structures(
     return {structure: synthesize(fsm, structure, options=options) for structure in structures}
 
 
-# ----------------------------------------------------------------- internals
+# ------------------------------------------------------------ stage helpers
+# assign_states / minimize_excitation are the single implementations of the
+# "assign" and "minimize" stages; synthesize() above and the staged pipeline
+# in repro.flow both call them, so the two entry points cannot drift.
 
 
-def _assign_states(
+def assign_states(
     fsm: FSM,
     structure: BISTStructure,
     register: Optional[LFSR],
     opts: SynthesisOptions,
     implicants: Optional[Sequence[SymbolicImplicant]] = None,
 ) -> Tuple[StateEncoding, Optional[LFSR], Dict[str, object]]:
+    """Run the structure-specific state assignment of the flow's assign stage."""
     if structure is BISTStructure.DFF:
         result = assign_mustang(fsm, width=opts.width)
         return result.encoding, None, {
@@ -218,7 +229,7 @@ def _assign_states(
     raise ValueError(f"unknown structure {structure!r}")
 
 
-def _minimize_excitation(excitation: ExcitationTable, opts: SynthesisOptions) -> MinimizationResult:
+def minimize_excitation(excitation: ExcitationTable, opts: SynthesisOptions) -> MinimizationResult:
     method = opts.minimize_method
     if method == "auto":
         method = "quick" if len(excitation.on_set) > opts.quick_threshold else "espresso"

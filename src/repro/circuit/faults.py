@@ -202,6 +202,22 @@ class FaultSimulationResult:
             curve.append((cycle, hits / total if total else 1.0))
         return curve
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (counts, coverage, per-cycle coverage curve).
+
+        The per-fault detection sets are deliberately left out: the flow
+        layer ships these dictionaries between sweep workers and into the
+        artifact cache, where the aggregate curve is what the reports need.
+        """
+        return {
+            "total_faults": self.total_faults,
+            "detected": self.detected_count,
+            "coverage": self.coverage,
+            "cycles_simulated": self.cycles_simulated,
+            "patterns_simulated": self.patterns_simulated,
+            "coverage_curve": [[cycle, cov] for cycle, cov in self.coverage_curve()],
+        }
+
 
 class FaultSimulator:
     """Serial-fault, parallel-pattern stuck-at fault simulation.

@@ -1,6 +1,12 @@
 """Command-line interface for the synthesis flow.
 
-The CLI exposes the main use cases of the library without writing Python:
+Every subcommand is a thin client of the staged pipeline in
+:mod:`repro.flow`: it builds one :class:`~repro.flow.FlowConfig` from the
+(uniform) command-line knobs, runs :func:`~repro.flow.run_flow` or a
+:class:`~repro.flow.Sweep`, and renders the serialized result.  ``--json``
+on any subcommand emits the same ``FlowResult``/``SweepResult`` schema the
+library produces, and ``--cache-dir`` (or ``$REPRO_FLOW_CACHE``) attaches
+the content-addressed artifact cache so re-runs skip unchanged stages.
 
 * ``repro synthesize controller.kiss2 --structure PST`` — run the full flow
   for one machine and print the result (optionally writing the minimised PLA
@@ -13,9 +19,11 @@ The CLI exposes the main use cases of the library without writing Python:
   bit-parallel engine (``--engine legacy`` selects the reference loop,
   ``--jobs N`` shards the fault list across processes),
 * ``repro benchmarks --names dk16,dk512`` — regenerate the Table 2 / Table 3
-  rows for a set of MCNC benchmarks (synthetic stand-ins unless a data
-  directory with the original ``.kiss2`` files is given),
-* ``repro validate controller.kiss2`` — check a KISS2 description.
+  rows for a set of MCNC benchmarks through the sweep orchestrator
+  (synthetic stand-ins unless a data directory with the original ``.kiss2``
+  files is given),
+* ``repro validate controller.kiss2`` — check a KISS2 description,
+* ``repro version`` / ``repro --version`` — report the package version.
 
 Invoke as ``python -m repro ...`` (an entry point is intentionally avoided so
 the offline editable install stays trivial).
@@ -24,25 +32,38 @@ the offline editable install stays trivial).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .bist import BISTStructure, SynthesisOptions, compare_structures, synthesize
+from . import __version__
 from .circuit.verilog import controller_to_verilog
-from .encoding import random_search
-from .fsm import (
-    PAPER_TABLE2,
-    PAPER_TABLE3,
-    benchmark_names,
-    load_benchmark,
-    parse_kiss_file,
-    validate_fsm,
+from .flow import (
+    ArtifactCache,
+    FlowConfig,
+    Sweep,
+    add_flow_arguments,
+    config_from_args,
+    run_flow,
 )
+from .fsm import benchmark_names, parse_kiss_file, validate_fsm
 from .logic.pla import write_pla
-from .reporting import format_comparison, format_paper_vs_measured, format_table
+from .reporting import (
+    faultsim_rows,
+    flow_summary_rows,
+    format_comparison,
+    format_paper_vs_measured,
+    format_table,
+    structure_rows_from_results,
+    sweep_table2_rows,
+    sweep_table3_rows,
+)
 
 __all__ = ["main", "build_parser"]
+
+#: Structure order of the ``compare`` subcommand (matches the paper's Table 1).
+_COMPARE_STRUCTURES = ("DFF", "PAT", "SIG", "PST")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,49 +71,30 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Synthesis of self-testable finite state machines (DAC 1991 reproduction)",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     synth = sub.add_parser("synthesize", help="synthesise one controller")
     synth.add_argument("kiss_file", type=Path, help="FSM description in KISS2 format")
-    synth.add_argument("--structure", choices=[s.value for s in BISTStructure], default="PST")
-    synth.add_argument("--width", type=int, default=None, help="number of state variables")
-    synth.add_argument("--seed", type=int, default=0)
-    synth.add_argument("--assignment-engine", choices=["incremental", "reference"],
-                       default="incremental",
-                       help="scoring engine of the MISR state assignment")
-    synth.add_argument("--multi-start", type=int, default=1,
-                       help="independent state-assignment searches (best result wins)")
-    synth.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the multi-start fan-out")
+    add_flow_arguments(synth, structure=True)
+    synth.add_argument("--fault-patterns", type=int, default=None,
+                       help="also fault-simulate the result with N random patterns")
     synth.add_argument("--pla-out", type=Path, default=None, help="write the minimised cover as PLA")
     synth.add_argument("--verilog-out", type=Path, default=None, help="write a structural Verilog netlist")
 
     compare = sub.add_parser("compare", help="compare all BIST structures for one controller")
     compare.add_argument("kiss_file", type=Path)
-    compare.add_argument("--seed", type=int, default=0)
+    add_flow_arguments(compare)
     compare.add_argument("--fault-patterns", type=int, default=None,
                          help="also fault-simulate each structure with N random patterns")
-    compare.add_argument("--word-width", type=int, default=256,
-                         help="pattern lanes per simulated word")
-    compare.add_argument("--engine", choices=["compiled", "legacy"], default="compiled",
-                         help="fault-simulation back end")
-    compare.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for fault-list sharding")
 
     faultsim = sub.add_parser("faultsim", help="stuck-at fault simulation of one controller")
     faultsim.add_argument("kiss_file", type=Path)
-    faultsim.add_argument("--structure", choices=[s.value for s in BISTStructure], default="PST")
+    add_flow_arguments(faultsim, structure=True)
     faultsim.add_argument("--patterns", type=int, default=1024,
                           help="number of random patterns (simulated exactly)")
-    faultsim.add_argument("--word-width", type=int, default=256,
-                          help="pattern lanes per simulated word")
-    faultsim.add_argument("--engine", choices=["compiled", "legacy"], default="compiled",
-                          help="fault-simulation back end")
-    faultsim.add_argument("--jobs", type=int, default=1,
-                          help="worker processes for fault-list sharding")
     faultsim.add_argument("--collapse", action="store_true",
                           help="apply equivalence collapsing to the fault list")
-    faultsim.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("benchmarks", help="regenerate Table 2 / Table 3 rows")
     bench.add_argument("--names", default="dk512,modulo12,ex4,mark1",
@@ -100,16 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trials", type=int, default=10, help="random encodings for Table 2")
     bench.add_argument("--data-dir", type=Path, default=None,
                        help="directory with original MCNC .kiss2 files")
-    bench.add_argument("--multi-start", type=int, default=1,
-                       help="independent PST state-assignment searches per machine")
-    bench.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the multi-start fan-out")
-    bench.add_argument("--assignment-engine", choices=["incremental", "reference"],
-                       default="incremental",
-                       help="scoring engine of the MISR state assignment")
+    add_flow_arguments(bench)
+    bench.add_argument("--fault-patterns", type=int, default=None,
+                       help="also fault-simulate every cell with N random patterns")
 
     validate = sub.add_parser("validate", help="validate a KISS2 description")
     validate.add_argument("kiss_file", type=Path)
+    validate.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the validation report as JSON")
+
+    version = sub.add_parser("version", help="print the package version")
+    version.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the version as JSON")
 
     return parser
 
@@ -126,7 +130,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_benchmarks(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "version":
+        return _cmd_version(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[ArtifactCache]:
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return ArtifactCache(cache_dir)
+    return ArtifactCache.from_env()
 
 
 # ------------------------------------------------------------------ commands
@@ -134,153 +147,133 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     machine = parse_kiss_file(args.kiss_file)
-    structure = BISTStructure(args.structure)
-    options = SynthesisOptions(
-        width=args.width,
-        seed=args.seed,
-        assignment_engine=args.assignment_engine,
-        multi_start=args.multi_start,
-        jobs=args.jobs,
-    )
-    controller = synthesize(machine, structure, options=options)
+    config = config_from_args(args)
+    cache = _cache_from_args(args)
+    needs_objects = args.pla_out is not None or args.verilog_out is not None
+    result = run_flow(machine, config, cache=cache, materialize=needs_objects)
 
-    rows = [
-        ["machine", machine.name],
-        ["structure", structure.value],
-        ["states / inputs / outputs", f"{machine.num_states} / {machine.num_inputs} / {machine.num_outputs}"],
-        ["state variables", controller.encoding.width],
-        ["product terms", controller.product_terms],
-        ["two-level literals", controller.sop_literals],
-        ["multi-level literals", controller.multilevel_literals()],
-    ]
-    if controller.register is not None:
-        rows.append(["feedback polynomial", bin(controller.register.polynomial)])
-    print(format_table(["metric", "value"], rows, title="Synthesis result"))
-    print()
-    print("State assignment:")
-    for state in machine.states:
-        print(f"  {state} -> {controller.encoding.code_of(state)}")
+    if args.as_json:
+        print(result.to_json())
+    else:
+        print(format_table(["metric", "value"], flow_summary_rows(result.to_dict()),
+                           title="Synthesis result"))
+        print()
+        print("State assignment:")
+        codes = result.encoding["codes"]
+        for state in machine.states:
+            print(f"  {state} -> {codes[state]}")
 
     if args.pla_out is not None:
-        excitation = controller.excitation
+        excitation = result.controller.excitation
         args.pla_out.write_text(
             write_pla(
-                controller.minimization.cover,
+                result.controller.minimization.cover,
                 input_names=list(excitation.input_names),
                 output_names=list(excitation.output_names),
             )
         )
-        print(f"\nwrote minimised PLA to {args.pla_out}")
+        if not args.as_json:
+            print(f"\nwrote minimised PLA to {args.pla_out}")
     if args.verilog_out is not None:
-        args.verilog_out.write_text(controller_to_verilog(controller))
-        print(f"wrote Verilog netlist to {args.verilog_out}")
+        args.verilog_out.write_text(controller_to_verilog(result.controller))
+        if not args.as_json:
+            print(f"wrote Verilog netlist to {args.verilog_out}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     machine = parse_kiss_file(args.kiss_file)
-    comparison = compare_structures(
-        machine,
-        options=SynthesisOptions(seed=args.seed),
-        fault_patterns=args.fault_patterns,
-        word_width=args.word_width,
-        engine=args.engine,
-        jobs=args.jobs,
-    )
-    print(format_comparison(comparison.as_rows(), title=f"BIST structure comparison — {machine.name}"))
+    config = config_from_args(args)
+    cache = _cache_from_args(args)
+    results = [
+        run_flow(machine, config.replace(structure=structure), cache=cache)
+        for structure in _COMPARE_STRUCTURES
+    ]
+    dicts = [result.to_dict() for result in results]
+    if args.as_json:
+        print(json.dumps(
+            {"schema": "repro.flow-comparison/1", "fsm": machine.name, "results": dicts},
+            indent=2,
+        ))
+        return 0
+    print(format_comparison(
+        structure_rows_from_results(dicts),
+        title=f"BIST structure comparison — {machine.name}",
+    ))
     return 0
 
 
 def _cmd_faultsim(args: argparse.Namespace) -> int:
-    import time
-
-    from .circuit.faults import FaultSimulator, enumerate_faults
-    from .circuit.netlist import netlist_from_controller
-
     machine = parse_kiss_file(args.kiss_file)
-    structure = BISTStructure(args.structure)
-    controller = synthesize(machine, structure, options=SynthesisOptions(seed=args.seed))
-    circuit = netlist_from_controller(controller)
-    faults = enumerate_faults(circuit, collapse=args.collapse)
-
-    simulator = FaultSimulator(
-        circuit, word_width=args.word_width, engine=args.engine, jobs=args.jobs
+    config = config_from_args(
+        args,
+        fault_patterns=args.patterns,
+        fault_seed=args.seed,
+        fault_collapse=args.collapse,
     )
-    start = time.perf_counter()
-    result = simulator.coverage_for_random_patterns(
-        args.patterns, seed=args.seed, faults=faults
-    )
-    elapsed = time.perf_counter() - start
-
-    rows = [
-        ["machine", machine.name],
-        ["structure", structure.value],
-        ["engine", args.engine],
-        ["word width", args.word_width],
-        ["jobs", args.jobs],
-        ["gates", circuit.gate_count()],
-        ["faults" + (" (collapsed)" if args.collapse else ""), result.total_faults],
-        ["patterns simulated", result.patterns_simulated],
-        ["detected faults", result.detected_count],
-        ["fault coverage", f"{result.coverage:.4f}"],
-        ["wall-clock seconds", round(elapsed, 3)],
-    ]
-    print(format_table(["metric", "value"], rows, title="Fault simulation"))
+    cache = _cache_from_args(args)
+    result = run_flow(machine, config, cache=cache)
+    if args.as_json:
+        print(result.to_json())
+        return 0
+    print(format_table(["metric", "value"], faultsim_rows(result.to_dict()),
+                       title="Fault simulation"))
     return 0
 
 
 def _cmd_benchmarks(args: argparse.Namespace) -> int:
     if args.names.strip().lower() == "all":
-        names = benchmark_names()
+        names: List[str] = benchmark_names()
     else:
         names = [n.strip() for n in args.names.split(",") if n.strip()]
 
-    options = SynthesisOptions(
-        multi_start=args.multi_start,
+    config = config_from_args(args)
+    sweep = Sweep(
+        names,
+        structures=("PST", "DFF", "PAT"),
+        seeds=(config.seed,),
+        config=config,
+        cache=_cache_from_args(args),
         jobs=args.jobs,
-        assignment_engine=args.assignment_engine,
+        random_trials=args.trials,
+        data_dir=args.data_dir,
     )
-    table2: List[dict] = []
-    table3: List[dict] = []
-    for name in names:
-        machine = load_benchmark(name, data_dir=args.data_dir)
-        search = random_search(
-            machine,
-            lambda enc, m=machine: synthesize(m, BISTStructure.PST, encoding=enc).product_terms,
-            trials=args.trials,
-            seed=1991,
-        )
-        heuristic = synthesize(machine, BISTStructure.PST, options=options).product_terms
-        paper2 = PAPER_TABLE2[name]
-        table2.append({
-            "benchmark": name,
-            "random avg": round(search.average_cost, 1),
-            "random best": int(search.best_cost),
-            "heuristic": heuristic,
-            "paper heuristic": paper2.heuristic,
-        })
-        dff = synthesize(machine, BISTStructure.DFF).product_terms
-        pat = synthesize(machine, BISTStructure.PAT).product_terms
-        paper3 = PAPER_TABLE3[name]
-        table3.append({
-            "benchmark": name,
-            "PST/SIG": heuristic,
-            "DFF": dff,
-            "PAT": pat,
-            "paper PST/SIG": paper3.terms_pst_sig,
-            "paper DFF": paper3.terms_dff,
-            "paper PAT": paper3.terms_pat,
-        })
-
-    print(format_paper_vs_measured(table2, title=f"Table 2 ({args.trials} random encodings)"))
+    result = sweep.run()
+    if args.as_json:
+        print(result.to_json())
+        return 0
+    sweep_dict = result.to_dict()
+    print(format_paper_vs_measured(
+        sweep_table2_rows(sweep_dict), title=f"Table 2 ({args.trials} random encodings)"
+    ))
     print()
-    print(format_paper_vs_measured(table3, title="Table 3 (product terms)"))
+    print(format_paper_vs_measured(
+        sweep_table3_rows(sweep_dict, metric="product_terms"), title="Table 3 (product terms)"
+    ))
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     machine = parse_kiss_file(args.kiss_file)
     report = validate_fsm(machine)
+    if args.as_json:
+        print(json.dumps(
+            {
+                "schema": "repro.flow-validate/1",
+                "fsm": machine.name,
+                "states": machine.num_states,
+                "inputs": machine.num_inputs,
+                "outputs": machine.num_outputs,
+                "transitions": len(machine.transitions),
+                "ok": report.ok,
+                "issues": [
+                    {"severity": i.severity, "code": i.code, "message": i.message}
+                    for i in report.issues
+                ],
+            },
+            indent=2,
+        ))
+        return 0 if report.ok else 1
     print(f"{machine.name}: {machine.num_states} states, {machine.num_inputs} inputs, "
           f"{machine.num_outputs} outputs, {len(machine.transitions)} transitions")
     for issue in report.issues:
@@ -290,6 +283,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 0
     print("ERRORS found")
     return 1
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    if args.as_json:
+        print(json.dumps({"version": __version__}))
+    else:
+        print(__version__)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -98,6 +98,14 @@ class StateEncoding:
         """Return an encoding with state names translated through ``mapping``."""
         return StateEncoding(self.width, {mapping.get(s, s): c for s, c in self.codes.items()})
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary; :meth:`from_dict` round-trips it exactly."""
+        return {"width": self.width, "codes": dict(self.codes)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StateEncoding":
+        return cls(int(data["width"]), dict(data["codes"]))  # type: ignore[arg-type]
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         rows = [f"  {state} -> {code}" for state, code in self.codes.items()]
         return "StateEncoding(width=%d)\n%s" % (self.width, "\n".join(rows))

@@ -1,0 +1,40 @@
+"""Staged pipeline API unifying synthesis, fault simulation and benchmarks.
+
+One serializable configuration (:class:`FlowConfig`), one staged runner
+(:func:`run_flow` — ``parse -> assign -> excite -> minimize -> faultsim ->
+report``), one serializable result (:class:`FlowResult`), a
+content-addressed on-disk artifact cache (:class:`ArtifactCache`) and a
+batch orchestrator (:class:`Sweep`) that fans ``machines x structures x
+seeds`` grids out over one shared process pool.
+
+Every front end — the ``repro`` CLI, the benchmark harnesses under
+``benchmarks/``, and future remote workers — drives the engines of PR 1/2
+through this layer; the classic :func:`repro.bist.synthesize` /
+:func:`repro.bist.compare_structures` entry points remain as compatibility
+wrappers over the same stage functions.
+"""
+
+from .cache import ArtifactCache, artifact_key, default_cache_dir
+from .config import FLOW_STAGES, FlowConfig, add_flow_arguments, config_from_args
+from .pipeline import fsm_digest, resolve_fsm, run_flow
+from .results import FLOW_RESULT_SCHEMA, FlowResult, StageResult
+from .sweep import BaselineResult, Sweep, SweepResult
+
+__all__ = [
+    "ArtifactCache",
+    "artifact_key",
+    "default_cache_dir",
+    "FLOW_STAGES",
+    "FlowConfig",
+    "add_flow_arguments",
+    "config_from_args",
+    "fsm_digest",
+    "resolve_fsm",
+    "run_flow",
+    "FLOW_RESULT_SCHEMA",
+    "FlowResult",
+    "StageResult",
+    "BaselineResult",
+    "Sweep",
+    "SweepResult",
+]

@@ -1,0 +1,139 @@
+"""Content-addressed on-disk artifact cache of the flow pipeline.
+
+Artifacts are JSON payloads keyed by ``(fsm digest, stage, config digest)``
+— see :func:`artifact_key`.  A key addresses content, never identity, so a
+re-run of a Table 2/3 sweep only recomputes the cells whose machine or
+relevant configuration actually changed; everything else is served from
+disk with zero stage work.
+
+The layout is a two-level fan-out of JSON files (``ab/abcdef....json``)
+under one root directory.  Writes are atomic (temp file + ``os.replace``)
+so concurrent sweep workers sharing a cache directory never observe a torn
+artifact; unparseable files are treated as misses and dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+__all__ = ["ArtifactCache", "artifact_key", "default_cache_dir"]
+
+#: Environment variable naming a default cache directory for CLI runs.
+CACHE_ENV_VAR = "REPRO_FLOW_CACHE"
+
+#: Generation tag mixed into every artifact key.  Bump whenever a stage
+#: implementation changes its output for an unchanged configuration (a new
+#: assignment heuristic, a different minimiser, ...) so persistent cache
+#: directories from older code are invalidated instead of silently serving
+#: stale results.
+CACHE_GENERATION = 1
+
+
+def artifact_key(fsm_digest: str, stage: str, config_digest: str) -> str:
+    """The content address of one stage artifact."""
+    payload = f"g{CACHE_GENERATION}\n{fsm_digest}\n{stage}\n{config_digest}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache directory named by ``$REPRO_FLOW_CACHE`` (or ``None``)."""
+    value = os.environ.get(CACHE_ENV_VAR)
+    return Path(value).expanduser() if value else None
+
+
+class ArtifactCache:
+    """A content-addressed JSON artifact store on the local filesystem."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ArtifactCache"]:
+        """The cache named by ``$REPRO_FLOW_CACHE``, or ``None``."""
+        root = default_cache_dir()
+        return cls(root) if root is not None else None
+
+    # ------------------------------------------------------------------- I/O
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            # A torn or corrupted artifact (bad JSON, bad UTF-8 — note
+            # UnicodeDecodeError is a ValueError): drop it, treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            # Valid JSON but not a stage payload (e.g. a truncated "[]"):
+            # same corrupt-artifact treatment.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------ management
+    def _artifact_paths(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return iter(())
+        return self.root.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._artifact_paths())
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns the number removed."""
+        removed = 0
+        for path in list(self._artifact_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,382 @@
+"""Batch sweep orchestration over ``machines x structures x seeds`` grids.
+
+:class:`Sweep` runs the staged pipeline over a benchmark grid through **one
+shared process pool** — instead of each stage spawning its own — with the
+same determinism guarantee as the PR 1/2 engines: cells are merged in
+submission order, and worker-side configurations are forced to ``jobs=1``,
+so the sweep result is bit-identical at every ``jobs`` count.  With an
+artifact cache attached, a repeated sweep only recomputes cells whose
+machine or configuration changed; everything else is served from disk.
+
+The optional random-encoding baseline of the Table 2 experiment (average /
+best of N random state assignments) runs through the same pool and the same
+cache, as a ``baseline`` pseudo-stage keyed by the trial count and seed.
+
+Cells are shipped to workers as ``(name, KISS2 text, state order, config
+dict)`` — the exact serializable payload a future work-queue service can
+distribute across machines (the ROADMAP "multi-machine sharding" item plugs
+in here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..bist.structures import BISTStructure
+from ..bist.synthesis import synthesize
+from ..encoding.random_search import random_search
+from ..fsm.kiss import write_kiss
+from ..fsm.machine import FSM
+from .cache import ArtifactCache, artifact_key
+from .config import FlowConfig
+from .pipeline import FSMSource, fsm_digest, resolve_fsm, run_flow
+from .results import FlowResult
+
+__all__ = ["Sweep", "SweepResult", "BaselineResult"]
+
+SWEEP_RESULT_SCHEMA = "repro.flow-sweep/1"
+
+#: Default structure grid of the Table 3 experiment.
+DEFAULT_STRUCTURES: Tuple[str, ...] = ("PST", "DFF", "PAT")
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Random-encoding baseline of one machine (Table 2 columns)."""
+
+    fsm: str
+    trials: int
+    random_seed: int
+    average: float
+    best: int
+    seconds: float
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fsm": self.fsm,
+            "trials": self.trials,
+            "random_seed": self.random_seed,
+            "average": self.average,
+            "best": self.best,
+            "seconds": round(self.seconds, 6),
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BaselineResult":
+        return cls(
+            fsm=data["fsm"],
+            trials=int(data["trials"]),
+            random_seed=int(data["random_seed"]),
+            average=float(data["average"]),
+            best=int(data["best"]),
+            seconds=float(data["seconds"]),
+            cached=bool(data["cached"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Serializable result of one sweep: every cell plus the baselines."""
+
+    machines: Tuple[str, ...]
+    structures: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    config: Mapping[str, Any]
+    results: Tuple[FlowResult, ...]
+    baselines: Mapping[str, BaselineResult] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    schema: str = SWEEP_RESULT_SCHEMA
+
+    def result_for(
+        self, machine: str, structure: str, seed: Optional[int] = None
+    ) -> FlowResult:
+        want_seed = self.seeds[0] if seed is None else seed
+        for result in self.results:
+            if (
+                result.fsm == machine
+                and result.structure == structure
+                and result.config.get("seed") == want_seed
+            ):
+                return result
+        raise KeyError(f"sweep has no cell ({machine!r}, {structure!r}, seed={want_seed})")
+
+    @property
+    def all_cached(self) -> bool:
+        """True when every cell (and baseline) was served from the cache."""
+        cells = all(result.all_cached for result in self.results)
+        baselines = all(b.cached for b in self.baselines.values())
+        return cells and baselines
+
+    @property
+    def uncached_seconds(self) -> float:
+        """Wall-clock spent on stage work that was actually recomputed."""
+        stage_work = sum(result.uncached_seconds for result in self.results)
+        baseline_work = sum(b.seconds for b in self.baselines.values() if not b.cached)
+        return stage_work + baseline_work
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "machines": list(self.machines),
+            "structures": list(self.structures),
+            "seeds": list(self.seeds),
+            "config": dict(self.config),
+            "results": [result.to_dict() for result in self.results],
+            "baselines": {name: b.to_dict() for name, b in self.baselines.items()},
+            "total_seconds": round(self.total_seconds, 6),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            machines=tuple(data["machines"]),
+            structures=tuple(data["structures"]),
+            seeds=tuple(data["seeds"]),
+            config=dict(data["config"]),
+            results=tuple(FlowResult.from_dict(r) for r in data["results"]),
+            baselines={
+                name: BaselineResult.from_dict(b)
+                for name, b in data.get("baselines", {}).items()
+            },
+            total_seconds=float(data.get("total_seconds", 0.0)),
+            schema=data.get("schema", SWEEP_RESULT_SCHEMA),
+        )
+
+
+class Sweep:
+    """Run ``machines x structures x seeds`` through one shared process pool.
+
+    Args:
+        machines: FSMs, ``.kiss2`` paths or registered benchmark names.
+        structures: BIST structures per machine (enums or value strings).
+        seeds: assignment seeds per (machine, structure) pair.
+        config: base :class:`FlowConfig`; ``structure``/``seed`` are
+            overridden per cell.
+        cache: optional shared artifact cache (or a directory path).
+        jobs: sweep-level worker processes.  With ``jobs > 1`` the cells run
+            in a process pool and every worker-side config is forced to
+            ``jobs=1`` (no nested pools); the merge order is the submission
+            order, so results are identical at every jobs count.
+        random_trials: with a value, additionally run the Table 2
+            random-encoding baseline (``random_trials`` random PST
+            assignments per machine, seeded with ``random_seed``).
+        data_dir: directory with original MCNC ``.kiss2`` files.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[FSMSource],
+        structures: Sequence[Union[str, BISTStructure]] = DEFAULT_STRUCTURES,
+        seeds: Sequence[int] = (0,),
+        config: Optional[FlowConfig] = None,
+        cache: Optional[Union[ArtifactCache, str, Path]] = None,
+        jobs: int = 1,
+        random_trials: Optional[int] = None,
+        random_seed: int = 1991,
+        data_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if not machines:
+            raise ValueError("sweep needs at least one machine")
+        if not structures:
+            raise ValueError("sweep needs at least one structure")
+        self.fsms: List[FSM] = [resolve_fsm(m, data_dir=data_dir) for m in machines]
+        names = [fsm.name for fsm in self.fsms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate machine names in sweep: {names}")
+        self.machines: Tuple[str, ...] = tuple(names)
+        self.structures: Tuple[str, ...] = tuple(
+            s.value if isinstance(s, BISTStructure) else BISTStructure(s).value
+            for s in structures
+        )
+        self.seeds: Tuple[int, ...] = tuple(seeds) or (0,)
+        self.config = config or FlowConfig()
+        if isinstance(cache, (str, Path)):
+            cache = ArtifactCache(cache)
+        self.cache: Optional[ArtifactCache] = cache
+        self.jobs = max(1, int(jobs))
+        self.random_trials = random_trials
+        self.random_seed = random_seed
+
+    # ---------------------------------------------------------------- cells
+    def cells(self) -> List[Dict[str, Any]]:
+        """The work items of this sweep, in deterministic merge order.
+
+        Each cell is a plain JSON-safe dictionary (machine name, KISS2
+        text, config dict) — the payload shape a remote work queue would
+        distribute.
+        """
+        worker_jobs = 1 if self.jobs > 1 else self.config.jobs
+        tasks: List[Dict[str, Any]] = []
+        cache_dir = str(self.cache.root) if self.cache is not None else None
+        for fsm in self.fsms:
+            kiss = write_kiss(fsm)
+            states = list(fsm.states)
+            if self.random_trials is not None:
+                baseline_config = self.config.replace(
+                    structure="PST", seed=self.seeds[0], jobs=worker_jobs
+                )
+                tasks.append({
+                    "kind": "baseline",
+                    "name": fsm.name,
+                    "kiss": kiss,
+                    "states": states,
+                    "config": baseline_config.to_dict(),
+                    "cache_dir": cache_dir,
+                    "trials": self.random_trials,
+                    "random_seed": self.random_seed,
+                })
+            for seed in self.seeds:
+                for structure in self.structures:
+                    cell_config = self.config.replace(
+                        structure=structure, seed=seed, jobs=worker_jobs
+                    )
+                    tasks.append({
+                        "kind": "flow",
+                        "name": fsm.name,
+                        "kiss": kiss,
+                        "states": states,
+                        "config": cell_config.to_dict(),
+                        "cache_dir": cache_dir,
+                    })
+        return tasks
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SweepResult:
+        start = time.perf_counter()
+        tasks = self.cells()
+        if self.jobs > 1:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                # executor.map preserves submission order: deterministic merge.
+                outcomes = list(pool.map(_sweep_worker, tasks))
+        else:
+            # In-process: reuse the live FSM objects and the shared cache so
+            # hit/miss statistics accumulate on the caller's cache instance.
+            by_name = {fsm.name: fsm for fsm in self.fsms}
+            outcomes = [
+                _run_cell(task, fsm=by_name[task["name"]], cache=self.cache)
+                for task in tasks
+            ]
+
+        results: List[FlowResult] = []
+        baselines: Dict[str, BaselineResult] = {}
+        for outcome in outcomes:
+            if outcome["kind"] == "flow":
+                results.append(FlowResult.from_dict(outcome["result"]))
+            else:
+                baseline = BaselineResult.from_dict(outcome["result"])
+                baselines[baseline.fsm] = baseline
+        return SweepResult(
+            machines=self.machines,
+            structures=self.structures,
+            seeds=self.seeds,
+            config=self.config.to_dict(),
+            results=tuple(results),
+            baselines=baselines,
+            total_seconds=time.perf_counter() - start,
+        )
+
+
+# ------------------------------------------------------------ worker side
+
+
+def _sweep_worker(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: rebuild the cell from its payload and run."""
+    from ..fsm.kiss import parse_kiss
+
+    parsed = parse_kiss(task["kiss"], name=task["name"])
+    # Re-impose the original state order: KISS2 text orders states by first
+    # appearance in the transitions, but the assignment heuristics break
+    # ties by state index, so the declared order must survive the transport
+    # for worker results to be bit-identical to an in-process run.
+    fsm = FSM(
+        parsed.name,
+        parsed.num_inputs,
+        parsed.num_outputs,
+        parsed.transitions,
+        reset_state=parsed.reset_state,
+        states=task["states"],
+    )
+    cache = ArtifactCache(task["cache_dir"]) if task["cache_dir"] else None
+    return _run_cell(task, fsm=fsm, cache=cache)
+
+
+def _run_cell(
+    task: Dict[str, Any], fsm: FSM, cache: Optional[ArtifactCache]
+) -> Dict[str, Any]:
+    config = FlowConfig.from_dict(task["config"])
+    if task["kind"] == "flow":
+        result = run_flow(fsm, config, cache=cache)
+        return {"kind": "flow", "result": result.to_dict()}
+    baseline = _random_baseline(
+        fsm, config, cache, trials=task["trials"], random_seed=task["random_seed"]
+    )
+    return {"kind": "baseline", "result": baseline.to_dict()}
+
+
+def _random_baseline(
+    fsm: FSM,
+    config: FlowConfig,
+    cache: Optional[ArtifactCache],
+    trials: int,
+    random_seed: int,
+) -> BaselineResult:
+    """Average/best product terms over random PST encodings (Table 2)."""
+    start = time.perf_counter()
+    key = None
+    if cache is not None:
+        config_digest = hashlib.sha256(
+            json.dumps(
+                {
+                    "minimize": config.replace(structure="PST").stage_digest("minimize"),
+                    "trials": trials,
+                    "random_seed": random_seed,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        ).hexdigest()
+        key = artifact_key(fsm_digest(fsm), "baseline", config_digest)
+        payload = cache.get(key)
+        if payload is not None:
+            return BaselineResult(
+                fsm=fsm.name,
+                trials=trials,
+                random_seed=random_seed,
+                average=payload["average"],
+                best=payload["best"],
+                seconds=time.perf_counter() - start,
+                cached=True,
+            )
+
+    options = config.to_synthesis_options()
+    search = random_search(
+        fsm,
+        lambda enc, m=fsm: synthesize(
+            m, BISTStructure.PST, encoding=enc, options=options
+        ).product_terms,
+        trials=trials,
+        seed=random_seed,
+    )
+    average = search.average_cost
+    best = int(search.best_cost)
+    if cache is not None and key is not None:
+        cache.put(key, {"average": average, "best": best})
+    return BaselineResult(
+        fsm=fsm.name,
+        trials=trials,
+        random_seed=random_seed,
+        average=average,
+        best=best,
+        seconds=time.perf_counter() - start,
+        cached=False,
+    )

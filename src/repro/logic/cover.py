@@ -12,7 +12,7 @@ expansion, irredundant covers, functional equivalence checks) builds on it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .cube import Cube, CubeError, FULL_FIELD
 
@@ -83,6 +83,24 @@ class Cover:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Cover(inputs={self.num_inputs}, outputs={self.num_outputs}, cubes={len(self)})"
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary (PLA-style cube strings); exact round-trip."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "cubes": [
+                [c.input_string(), c.output_string(self.num_outputs)] for c in self._cubes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Cover":
+        cover = cls(int(data["inputs"]), int(data["outputs"]))
+        for input_str, output_str in data["cubes"]:  # type: ignore[union-attr]
+            cover.add(Cube.from_strings(input_str, output_str))
+        return cover
 
     # -------------------------------------------------------------- metrics
     def product_term_count(self) -> int:

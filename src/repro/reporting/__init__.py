@@ -1,5 +1,23 @@
 """Text reporting helpers for experiment results."""
 
-from .tables import format_comparison, format_paper_vs_measured, format_table
+from .tables import (
+    faultsim_rows,
+    flow_summary_rows,
+    format_comparison,
+    format_paper_vs_measured,
+    format_table,
+    structure_rows_from_results,
+    sweep_table2_rows,
+    sweep_table3_rows,
+)
 
-__all__ = ["format_comparison", "format_paper_vs_measured", "format_table"]
+__all__ = [
+    "format_comparison",
+    "format_paper_vs_measured",
+    "format_table",
+    "flow_summary_rows",
+    "faultsim_rows",
+    "structure_rows_from_results",
+    "sweep_table2_rows",
+    "sweep_table3_rows",
+]

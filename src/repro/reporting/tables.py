@@ -4,13 +4,27 @@ The benchmark harnesses print their results in the same tabular shape as the
 paper's Tables 2 and 3, so a reader can put the reproduction next to the
 original.  Only standard-library string formatting is used; the helpers here
 keep the benchmarks free of formatting noise.
+
+The ``*_rows`` helpers in the second half render from the serialized
+dictionaries of the :mod:`repro.flow` layer (``FlowResult.to_dict()`` /
+``SweepResult.to_dict()``), so the CLI and the benchmark harnesses print the
+same JSON schema they emit — there is no second, bespoke tuple shape.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_comparison", "format_paper_vs_measured"]
+__all__ = [
+    "format_table",
+    "format_comparison",
+    "format_paper_vs_measured",
+    "flow_summary_rows",
+    "faultsim_rows",
+    "structure_rows_from_results",
+    "sweep_table2_rows",
+    "sweep_table3_rows",
+]
 
 
 def format_table(
@@ -63,3 +77,154 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+# --------------------------------------------------- FlowResult-dict renders
+
+
+def _stage(result: Mapping[str, Any], name: str) -> Mapping[str, Any]:
+    for stage in result["stages"]:
+        if stage["name"] == name:
+            return stage
+    raise KeyError(f"flow result has no stage {name!r}")
+
+
+def flow_summary_rows(result: Mapping[str, Any]) -> List[List[object]]:
+    """``metric / value`` rows of one serialized flow result (synthesize)."""
+    parse = _stage(result, "parse")["metrics"]
+    metrics = result["metrics"]
+    rows: List[List[object]] = [
+        ["machine", result["fsm"]],
+        ["structure", result["structure"]],
+        ["states / inputs / outputs",
+         f"{parse['states']} / {parse['inputs']} / {parse['outputs']}"],
+        ["state variables", metrics["state_bits"]],
+        ["product terms", metrics["product_terms"]],
+        ["two-level literals", metrics["sop_literals"]],
+        ["multi-level literals", metrics["multilevel_literals"]],
+    ]
+    if metrics.get("register_polynomial") is not None:
+        rows.append(["feedback polynomial", bin(metrics["register_polynomial"])])
+    if metrics.get("fault_coverage") is not None:
+        rows.append(["fault coverage", f"{metrics['fault_coverage']:.4f}"])
+        rows.append(["total faults", metrics["fault_total"]])
+    return rows
+
+
+def faultsim_rows(result: Mapping[str, Any]) -> List[List[object]]:
+    """``metric / value`` rows of one serialized fault-simulation flow run."""
+    config = result["config"]
+    metrics = result["metrics"]
+    stage = _stage(result, "faultsim")
+    fault_label = "faults (collapsed)" if config.get("fault_collapse") else "faults"
+    return [
+        ["machine", result["fsm"]],
+        ["structure", result["structure"]],
+        ["engine", config["engine"]],
+        ["word width", config["word_width"]],
+        ["jobs", config["jobs"]],
+        ["gates", metrics["gates"]],
+        [fault_label, metrics["fault_total"]],
+        ["patterns simulated", metrics["patterns_simulated"]],
+        ["detected faults", metrics["fault_detected"]],
+        ["fault coverage", f"{metrics['fault_coverage']:.4f}"],
+        ["wall-clock seconds", round(stage["seconds"], 3)],
+        ["served from cache", "yes" if stage["cached"] else "no"],
+    ]
+
+
+def structure_rows_from_results(
+    results: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, object]]:
+    """Table-1-style comparison rows from serialized flow results."""
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        metrics = result["metrics"]
+        row: Dict[str, object] = {
+            "structure": result["structure"],
+            "product terms": metrics["product_terms"],
+            "SOP literals": metrics["sop_literals"],
+            "multi-level literals": metrics["multilevel_literals"],
+            "register bits": metrics["register_bits"],
+            "control signals": metrics["control_signals"],
+            "XORs in data path": metrics["xor_gates_in_system_path"],
+            "mode muxes": metrics["mode_multiplexers"],
+            "disjoint test mode": "yes" if metrics["disjoint_test_mode"] else "no",
+            "at-speed test": "yes" if metrics["at_speed_dynamic_fault_test"] else "no",
+            "autonomous transitions": metrics["autonomous_transitions"],
+        }
+        if metrics.get("fault_coverage") is not None:
+            row["fault coverage"] = f"{metrics['fault_coverage']:.4f}"
+        if metrics.get("fault_total") is not None:
+            row["total faults"] = metrics["fault_total"]
+        rows.append(row)
+    return rows
+
+
+def _sweep_cell(sweep: Mapping[str, Any], machine: str, structure: str) -> Mapping[str, Any]:
+    for result in sweep["results"]:
+        if result["fsm"] == machine and result["structure"] == structure:
+            return result
+    raise KeyError(f"sweep has no cell ({machine!r}, {structure!r})")
+
+
+def sweep_table2_rows(
+    sweep: Mapping[str, Any], include_paper_baseline: bool = False
+) -> List[Dict[str, object]]:
+    """Table 2 rows (random baseline vs heuristic) from a serialized sweep.
+
+    ``include_paper_baseline`` adds the paper's random-average/random-best
+    columns next to the measured baseline (the CLI's compact table omits
+    them; the example sweep shows them).
+    """
+    from ..fsm.mcnc import PAPER_TABLE2
+
+    rows: List[Dict[str, object]] = []
+    for name in sweep["machines"]:
+        heuristic = _sweep_cell(sweep, name, "PST")["metrics"]["product_terms"]
+        baseline = sweep.get("baselines", {}).get(name)
+        paper = PAPER_TABLE2.get(name)
+        row: Dict[str, object] = {"benchmark": name}
+        if baseline is not None:
+            row["random avg"] = round(baseline["average"], 1)
+            row["random best"] = int(baseline["best"])
+        row["heuristic"] = heuristic
+        if include_paper_baseline and baseline is not None:
+            row["paper avg"] = paper.random_average if paper is not None else ""
+            row["paper best"] = paper.random_best if paper is not None else ""
+        row["paper heuristic"] = paper.heuristic if paper is not None else ""
+        rows.append(row)
+    return rows
+
+
+def sweep_table3_rows(
+    sweep: Mapping[str, Any], metric: str = "product_terms"
+) -> List[Dict[str, object]]:
+    """Table 3 rows (PST/SIG vs DFF vs PAT) from a serialized sweep.
+
+    ``metric`` selects the compared column: ``"product_terms"`` for the left
+    half of the paper's table, ``"multilevel_literals"`` for the right half.
+    """
+    from ..fsm.mcnc import PAPER_TABLE3
+
+    if metric == "product_terms":
+        paper_columns = ("terms_pst_sig", "terms_dff", "terms_pat")
+    elif metric == "multilevel_literals":
+        paper_columns = ("literals_pst_sig", "literals_dff", "literals_pat")
+    else:
+        raise ValueError(f"unknown Table 3 metric {metric!r}")
+
+    rows: List[Dict[str, object]] = []
+    for name in sweep["machines"]:
+        paper = PAPER_TABLE3.get(name)
+        row: Dict[str, object] = {
+            "benchmark": name,
+            "PST/SIG": _sweep_cell(sweep, name, "PST")["metrics"][metric],
+            "DFF": _sweep_cell(sweep, name, "DFF")["metrics"][metric],
+            "PAT": _sweep_cell(sweep, name, "PAT")["metrics"][metric],
+            "paper PST/SIG": getattr(paper, paper_columns[0]) if paper else "",
+            "paper DFF": getattr(paper, paper_columns[1]) if paper else "",
+            "paper PAT": getattr(paper, paper_columns[2]) if paper else "",
+        }
+        rows.append(row)
+    return rows

@@ -128,6 +128,33 @@ class TestBenchmarksCommand:
         assert "dk512" in out
 
 
+class TestUniformFlowKnobs:
+    """The PR 2 engine knobs are routed through every subcommand uniformly."""
+
+    KNOBS = ["--assignment-engine", "reference", "--multi-start", "2",
+             "--jobs", "2", "--word-width", "64", "--engine", "legacy"]
+
+    @pytest.mark.parametrize("command", ["synthesize", "compare", "faultsim"])
+    def test_knobs_parse_on_file_commands(self, command, kiss_path):
+        args = build_parser().parse_args([command, str(kiss_path)] + self.KNOBS)
+        assert args.assignment_engine == "reference"
+        assert args.multi_start == 2
+        assert args.jobs == 2
+        assert args.word_width == 64
+        assert args.engine == "legacy"
+
+    def test_knobs_parse_on_benchmarks(self):
+        args = build_parser().parse_args(["benchmarks"] + self.KNOBS)
+        assert args.assignment_engine == "reference"
+        assert args.multi_start == 2
+        assert args.word_width == 64
+
+    def test_compare_multi_start_runs(self, kiss_path, capsys):
+        exit_code = main(["compare", str(kiss_path), "--multi-start", "2"])
+        assert exit_code == 0
+        assert "PST" in capsys.readouterr().out
+
+
 class TestValidateCommand:
     def test_valid_machine(self, kiss_path, capsys):
         exit_code = main(["validate", str(kiss_path)])
