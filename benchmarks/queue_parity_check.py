@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Assert a queue-backend sweep is bit-identical to the serial backend.
+
+CI runs the quick machine set twice — once through ``--backend queue``
+against two background ``repro worker`` processes, once serially — and
+feeds both serialized :class:`repro.flow.SweepResult` JSON files to this
+script.  Everything except wall-clock timings and execution/worker
+metadata must match exactly; the script also checks that the queue run
+really was distributed (queue backend, >= the requested worker count).
+
+Usage::
+
+    python benchmarks/queue_parity_check.py SERIAL.json QUEUE.json [--min-workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+
+def normalized(sweep: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip the fields allowed to differ between executor backends."""
+    data = json.loads(json.dumps(sweep))
+    for key in ("total_seconds", "executor", "cache_stats"):
+        data.pop(key, None)
+    for result in data["results"]:
+        result.pop("total_seconds", None)
+        for stage in result["stages"]:
+            stage.pop("seconds", None)
+            stage.pop("cached", None)
+    for baseline in data.get("baselines", {}).values():
+        for key in ("seconds", "lookup_seconds", "cached"):
+            baseline.pop(key, None)
+    return data
+
+
+def first_difference(a: Any, b: Any, path: str = "$") -> str:
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key}: present on one side only"
+            if a[key] != b[key]:
+                return first_difference(a[key], b[key], f"{path}.{key}")
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for index, (left, right) in enumerate(zip(a, b)):
+            if left != right:
+                return first_difference(left, right, f"{path}[{index}]")
+    return f"{path}: {a!r} != {b!r}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("serial_json", help="SweepResult of the serial backend")
+    parser.add_argument("queue_json", help="SweepResult of the queue backend")
+    parser.add_argument("--min-workers", type=int, default=2,
+                        help="distinct queue workers the run must have seen")
+    args = parser.parse_args()
+
+    with open(args.serial_json) as handle:
+        serial = json.load(handle)
+    with open(args.queue_json) as handle:
+        queue = json.load(handle)
+
+    executor = queue.get("executor", {})
+    if executor.get("backend") != "queue":
+        print(f"FAIL: queue sweep ran on backend {executor.get('backend')!r}")
+        return 1
+    workers = executor.get("workers", 0)
+    if workers < args.min_workers:
+        print(f"FAIL: queue sweep saw {workers} worker(s), "
+              f"expected >= {args.min_workers}")
+        return 1
+
+    serial_norm, queue_norm = normalized(serial), normalized(queue)
+    if serial_norm != queue_norm:
+        print("FAIL: queue sweep differs from serial sweep")
+        print("first difference:", first_difference(serial_norm, queue_norm))
+        return 1
+
+    cells = executor.get("cells", [])
+    per_worker: Dict[str, int] = {}
+    for cell in cells:
+        worker = cell.get("worker") or "?"
+        per_worker[worker] = per_worker.get(worker, 0) + 1
+    print(f"OK: {len(cells)} cells bit-identical to the serial backend")
+    print(f"    workers={workers} requeued={executor.get('cells_requeued', 0)} "
+          f"distribution={per_worker}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,12 @@ Run with::
 
     python examples/mcnc_benchmark_sweep.py [--trials N] [--names a,b,c]
         [--data-dir PATH] [--jobs N] [--cache DIR] [--json OUT.json]
+        [--backend serial|pool|queue --queue-dir DIR]
+
+With ``--backend queue`` the cells are distributed through a shared
+work-queue directory serviced by ``python -m repro worker DIR``
+processes (start any number, on any host sharing the directory); the
+result is bit-identical to the serial backend.
 """
 
 from __future__ import annotations
@@ -36,6 +42,10 @@ def parse_args() -> argparse.Namespace:
                         help="directory containing original MCNC .kiss2 files")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep's shared pool")
+    parser.add_argument("--backend", choices=("serial", "pool", "queue"), default=None,
+                        help="execution backend (default: pool when --jobs > 1)")
+    parser.add_argument("--queue-dir", type=str, default=None,
+                        help="shared work-queue directory of the queue backend")
     parser.add_argument("--cache", type=str, default=None,
                         help="artifact-cache directory (re-runs skip unchanged cells)")
     parser.add_argument("--json", type=str, default=None,
@@ -59,6 +69,8 @@ def main() -> None:
         random_trials=args.trials,
         random_seed=1991,
         jobs=args.jobs,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
         cache=args.cache,
         data_dir=args.data_dir,
     )
@@ -76,8 +88,10 @@ def main() -> None:
     ))
     print()
     cached = sum(1 for r in result.results if r.all_cached)
+    executor = result.executor
     print(f"{len(result.results)} cells in {result.total_seconds:.1f} s "
-          f"({cached} served from cache, {result.uncached_seconds:.1f} s of stage work)")
+          f"({cached} served from cache, {result.uncached_seconds:.1f} s of stage work) "
+          f"via {executor.get('backend')} backend, {executor.get('workers')} worker(s)")
 
     if args.json:
         Path(args.json).write_text(result.to_json())

@@ -47,10 +47,23 @@ from .bist import (
 )
 from .circuit.faults import FaultSimulator
 from .encoding import StateEncoding, assign_misr_states, assign_mustang, assign_pat
-from .flow import ArtifactCache, FlowConfig, FlowResult, StageResult, Sweep, SweepResult, run_flow
+from .flow import (
+    ArtifactCache,
+    FlowConfig,
+    FlowResult,
+    LocalPoolExecutor,
+    QueueExecutor,
+    SerialExecutor,
+    StageResult,
+    Sweep,
+    SweepExecutor,
+    SweepResult,
+    run_flow,
+    run_worker,
+)
 from .fsm import FSM, Transition, load_benchmark, parse_kiss, parse_kiss_file
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "bist",
@@ -73,7 +86,12 @@ __all__ = [
     "StageResult",
     "Sweep",
     "SweepResult",
+    "SweepExecutor",
+    "SerialExecutor",
+    "LocalPoolExecutor",
+    "QueueExecutor",
     "run_flow",
+    "run_worker",
     "StateEncoding",
     "assign_misr_states",
     "assign_mustang",

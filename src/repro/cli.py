@@ -22,8 +22,21 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
   rows for a set of MCNC benchmarks through the sweep orchestrator
   (synthetic stand-ins unless a data directory with the original ``.kiss2``
   files is given),
+* ``repro sweep --machines dk512,ex4 --structures PST,DFF --seeds 0,1`` —
+  run an arbitrary ``machines x structures x seeds`` grid and print per-cell
+  rows plus the executor summary,
+* ``repro worker queue-dir`` — run a work-queue worker daemon servicing the
+  distributed ``--backend queue`` of ``sweep``/``benchmarks``,
+* ``repro cache stats|clear|gc`` — inspect, empty or size-bound an artifact
+  cache directory (LRU eviction by last use),
 * ``repro validate controller.kiss2`` — check a KISS2 description,
 * ``repro version`` / ``repro --version`` — report the package version.
+
+``sweep`` and ``benchmarks`` select their execution backend with
+``--backend serial|pool|queue`` (default: ``pool`` when ``--jobs > 1``,
+else ``serial``); the queue backend distributes cells through a shared
+``--queue-dir`` serviced by any number of ``repro worker`` processes and
+is bit-identical to the serial backend at every worker count.
 
 Invoke as ``python -m repro ...`` (an entry point is intentionally avoided so
 the offline editable install stays trivial).
@@ -40,12 +53,14 @@ from typing import List, Optional, Sequence
 from . import __version__
 from .circuit.verilog import controller_to_verilog
 from .flow import (
+    BACKEND_NAMES,
     ArtifactCache,
     FlowConfig,
     Sweep,
     add_flow_arguments,
     config_from_args,
     run_flow,
+    run_worker,
 )
 from .fsm import benchmark_names, parse_kiss_file, validate_fsm
 from .logic.pla import write_pla
@@ -56,6 +71,8 @@ from .reporting import (
     format_paper_vs_measured,
     format_table,
     structure_rows_from_results,
+    sweep_cell_rows,
+    sweep_executor_rows,
     sweep_table2_rows,
     sweep_table3_rows,
 )
@@ -103,8 +120,59 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--data-dir", type=Path, default=None,
                        help="directory with original MCNC .kiss2 files")
     add_flow_arguments(bench)
+    _add_backend_arguments(bench)
     bench.add_argument("--fault-patterns", type=int, default=None,
                        help="also fault-simulate every cell with N random patterns")
+
+    sweep = sub.add_parser("sweep", help="run a machines x structures x seeds sweep")
+    sweep.add_argument("--machines", default="dk512,modulo12,ex4,mark1",
+                       help="comma-separated benchmark names, .kiss2 paths or 'all'")
+    sweep.add_argument("--structures", default="PST,DFF,PAT",
+                       help="comma-separated BIST structures")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma-separated assignment seeds")
+    sweep.add_argument("--trials", type=int, default=None,
+                       help="also run the Table 2 random baseline with N encodings")
+    sweep.add_argument("--data-dir", type=Path, default=None,
+                       help="directory with original MCNC .kiss2 files")
+    add_flow_arguments(sweep)
+    _add_backend_arguments(sweep)
+    sweep.add_argument("--fault-patterns", type=int, default=None,
+                       help="also fault-simulate every cell with N random patterns")
+
+    worker = sub.add_parser(
+        "worker", help="run a work-queue worker daemon for distributed sweeps"
+    )
+    worker.add_argument("queue_dir", type=Path,
+                        help="shared queue directory (created if missing)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="override the artifact-cache directory of every cell")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity (default: host-pid-nonce)")
+    worker.add_argument("--poll-interval", type=float, default=0.1,
+                        help="idle polling period in seconds")
+    worker.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="lease window agreed with the orchestrator")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many idle seconds (default: wait "
+                             "for the queue's stop file)")
+    worker.add_argument("--once", action="store_true",
+                        help="drain the queue and exit as soon as it is empty")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+    worker.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the exit statistics as JSON")
+
+    cache = sub.add_parser("cache", help="inspect or manage an artifact cache")
+    cache.add_argument("action", choices=("stats", "clear", "gc"),
+                       help="report sizes, delete everything, or LRU-evict")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_FLOW_CACHE)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: evict least-recently-used artifacts until the "
+                            "store is at most this many bytes")
+    cache.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the report as JSON")
 
     validate = sub.add_parser("validate", help="validate a KISS2 description")
     validate.add_argument("kiss_file", type=Path)
@@ -128,6 +196,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_faultsim(args)
     if args.command == "benchmarks":
         return _cmd_benchmarks(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "version":
@@ -135,11 +209,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the executor-backend options shared by sweep-shaped commands."""
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                        help="execution backend (default: pool when --jobs > 1, "
+                             "else serial)")
+    parser.add_argument("--queue-dir", type=Path, default=None,
+                        help="shared work-queue directory of the queue backend "
+                             "(serviced by 'repro worker' processes)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="queue backend: seconds without a worker heartbeat "
+                             "before a cell is requeued")
+    parser.add_argument("--queue-timeout", type=float, default=None,
+                        help="queue backend: overall deadline in seconds "
+                             "(default: wait forever for workers)")
+
+
 def _cache_from_args(args: argparse.Namespace) -> Optional[ArtifactCache]:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         return ArtifactCache(cache_dir)
     return ArtifactCache.from_env()
+
+
+def _sweep_from_args(args: argparse.Namespace, names: List[str],
+                     structures: Sequence[str], seeds: Sequence[int],
+                     trials: Optional[int]) -> Sweep:
+    config = config_from_args(args)
+    return Sweep(
+        names,
+        structures=tuple(structures),
+        seeds=tuple(seeds),
+        config=config,
+        cache=_cache_from_args(args),
+        jobs=args.jobs,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        lease_timeout=args.lease_timeout,
+        queue_timeout=args.queue_timeout,
+        random_trials=trials,
+        data_dir=args.data_dir,
+    )
 
 
 # ------------------------------------------------------------------ commands
@@ -221,22 +331,19 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(raw: str) -> List[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
 def _cmd_benchmarks(args: argparse.Namespace) -> int:
     if args.names.strip().lower() == "all":
         names: List[str] = benchmark_names()
     else:
-        names = [n.strip() for n in args.names.split(",") if n.strip()]
+        names = _split_csv(args.names)
 
-    config = config_from_args(args)
-    sweep = Sweep(
-        names,
-        structures=("PST", "DFF", "PAT"),
-        seeds=(config.seed,),
-        config=config,
-        cache=_cache_from_args(args),
-        jobs=args.jobs,
-        random_trials=args.trials,
-        data_dir=args.data_dir,
+    sweep = _sweep_from_args(
+        args, names, structures=("PST", "DFF", "PAT"), seeds=(args.seed,),
+        trials=args.trials,
     )
     result = sweep.run()
     if args.as_json:
@@ -250,6 +357,83 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
     print(format_paper_vs_measured(
         sweep_table3_rows(sweep_dict, metric="product_terms"), title="Table 3 (product terms)"
     ))
+    print()
+    print(format_table(["metric", "value"], sweep_executor_rows(sweep_dict),
+                       title="Execution"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.machines.strip().lower() == "all":
+        names: List[str] = benchmark_names()
+    else:
+        names = _split_csv(args.machines)
+    structures = _split_csv(args.structures)
+    seeds = [int(s) for s in _split_csv(args.seeds)]
+
+    sweep = _sweep_from_args(args, names, structures=structures, seeds=seeds,
+                             trials=args.trials)
+    result = sweep.run()
+    if args.as_json:
+        print(result.to_json())
+        return 0
+    sweep_dict = result.to_dict()
+    print(format_comparison(sweep_cell_rows(sweep_dict), title="Sweep cells"))
+    if result.baselines:
+        print()
+        print(format_paper_vs_measured(
+            sweep_table2_rows(sweep_dict),
+            title=f"Random baseline ({args.trials} encodings)",
+        ))
+    print()
+    print(format_table(["metric", "value"], sweep_executor_rows(sweep_dict),
+                       title="Execution"))
+    print(f"\n{len(result.results)} cells in {result.total_seconds:.2f} s "
+          f"({result.uncached_seconds:.2f} s of uncached stage work)")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    log = (lambda line: None) if args.quiet or args.as_json else print
+    stats = run_worker(
+        args.queue_dir,
+        cache_dir=args.cache_dir,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        lease_timeout=args.lease_timeout,
+        max_idle=args.max_idle,
+        once=args.once,
+        log=log,
+    )
+    if args.as_json:
+        print(json.dumps(stats.to_dict(), indent=2))
+    # Nonzero exit when any cell failed, so supervisors and CI scripts
+    # see worker health without parsing logs.
+    return 1 if stats.failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _cache_from_args(args)
+    if cache is None:
+        print("no cache directory: pass --cache-dir or set $REPRO_FLOW_CACHE",
+              file=sys.stderr)
+        return 2
+    report: dict = {"root": str(cache.root), "action": args.action}
+    if args.action == "stats":
+        report["artifacts"] = len(cache)
+        report["total_bytes"] = cache.total_bytes()
+    elif args.action == "clear":
+        report["removed"] = cache.clear()
+    else:  # gc
+        if args.max_bytes is None:
+            print("cache gc needs --max-bytes", file=sys.stderr)
+            return 2
+        report.update(cache.gc(max_bytes=args.max_bytes))
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        for key, value in report.items():
+            print(f"{key}: {value}")
     return 0
 
 

@@ -3,22 +3,37 @@
 One serializable configuration (:class:`FlowConfig`), one staged runner
 (:func:`run_flow` — ``parse -> assign -> excite -> minimize -> faultsim ->
 report``), one serializable result (:class:`FlowResult`), a
-content-addressed on-disk artifact cache (:class:`ArtifactCache`) and a
-batch orchestrator (:class:`Sweep`) that fans ``machines x structures x
-seeds`` grids out over one shared process pool.
+content-addressed on-disk artifact cache (:class:`ArtifactCache`, with
+size-bounded LRU eviction) and a batch orchestrator (:class:`Sweep`) that
+fans ``machines x structures x seeds`` grids out through pluggable
+executor backends (:mod:`repro.flow.backends`): in-process serial, a
+local process pool, or a filesystem work-queue serviced by ``repro
+worker`` daemons (:mod:`repro.flow.worker`) for distribution beyond one
+process or host.
 
 Every front end — the ``repro`` CLI, the benchmark harnesses under
-``benchmarks/``, and future remote workers — drives the engines of PR 1/2
+``benchmarks/``, and remote workers — drives the engines of PR 1/2
 through this layer; the classic :func:`repro.bist.synthesize` /
 :func:`repro.bist.compare_structures` entry points remain as compatibility
 wrappers over the same stage functions.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionReport,
+    LocalPoolExecutor,
+    QueueExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    resolve_backend,
+)
 from .cache import ArtifactCache, artifact_key, default_cache_dir
+from .cells import cell_id, rebuild_fsm, run_cell
 from .config import FLOW_STAGES, FlowConfig, add_flow_arguments, config_from_args
 from .pipeline import fsm_digest, resolve_fsm, run_flow
 from .results import FLOW_RESULT_SCHEMA, FlowResult, StageResult
 from .sweep import BaselineResult, Sweep, SweepResult
+from .worker import WorkerStats, run_worker
 
 __all__ = [
     "ArtifactCache",
@@ -37,4 +52,16 @@ __all__ = [
     "BaselineResult",
     "Sweep",
     "SweepResult",
+    "BACKEND_NAMES",
+    "ExecutionReport",
+    "SweepExecutor",
+    "SerialExecutor",
+    "LocalPoolExecutor",
+    "QueueExecutor",
+    "resolve_backend",
+    "cell_id",
+    "rebuild_fsm",
+    "run_cell",
+    "WorkerStats",
+    "run_worker",
 ]

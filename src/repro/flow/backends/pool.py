@@ -1,0 +1,51 @@
+"""Local process-pool execution (the former ``Sweep(jobs=N)`` path).
+
+Cells are shipped to a :class:`concurrent.futures.ProcessPoolExecutor` as
+their JSON-safe payloads and rebuilt worker-side; ``executor.map``
+preserves submission order, so the merge is deterministic and the sweep
+result is bit-identical to the serial backend at every pool size.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from ..cache import ArtifactCache
+from ..cells import run_cell
+from .base import ExecutionReport, SweepExecutor
+
+__all__ = ["LocalPoolExecutor"]
+
+
+def _pool_run_cell(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Top-level (picklable) pool entry point; tags the outcome with the
+    worker process identity."""
+    return run_cell(task, worker=f"pool-{os.getpid()}")
+
+
+class LocalPoolExecutor(SweepExecutor):
+    """Run cells through one shared local process pool."""
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def execute(
+        self,
+        tasks: Sequence[Mapping[str, Any]],
+        *,
+        fsms: Optional[Mapping[str, Any]] = None,
+        cache: Optional[ArtifactCache] = None,
+    ) -> ExecutionReport:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            outcomes = list(pool.map(_pool_run_cell, [dict(t) for t in tasks]))
+        distinct = {o.get("worker") for o in outcomes} - {None}
+        return ExecutionReport(
+            outcomes=outcomes,
+            backend=self.name,
+            workers=self.jobs,
+            extra={"distinct_workers": len(distinct)},
+        )

@@ -1,0 +1,288 @@
+"""Filesystem work-queue execution — the first distributed backend.
+
+The orchestrator and any number of worker daemons (``repro worker
+<queue-dir>``, possibly on other hosts sharing the filesystem) rendezvous
+over one queue directory::
+
+    <queue-dir>/
+        tasks/    pending cell payloads, one JSON file each
+        claims/   leased cells (atomically renamed out of ``tasks/``);
+                  the file mtime is the lease heartbeat
+        results/  serialized outcomes written back by workers
+        workers/  one registration file per live worker (heartbeat mtime)
+        stop      sentinel file: workers drain and exit
+
+The protocol is the lease/retry loop of production job-queue daemons:
+
+* **Claim** — a worker takes a cell with a single
+  ``os.replace(tasks/<id>.json, claims/<id>.json)``.  Rename is atomic,
+  so exactly one worker wins; the losers get ``FileNotFoundError`` and
+  move on.
+* **Lease** — the winner immediately ``os.utime``-s its claim and keeps
+  touching it from a heartbeat thread while the cell runs.  If the worker
+  dies, the mtime goes stale and the orchestrator renames the claim back
+  into ``tasks/`` after ``lease_timeout`` (counted as a requeue).
+* **Idempotence** — a spuriously requeued cell may run twice.  That is
+  harmless by construction: stage artifacts are keyed by the existing
+  ``(fsm digest, stage, config digest)`` content addresses, result files
+  are written with atomic replace, and both executions produce
+  bit-identical payloads (modulo timing/worker metadata), so last write
+  wins.
+* **Merge** — the orchestrator collects ``results/<id>.json`` files and
+  reassembles outcomes **in submission order**, which makes a queue sweep
+  bit-identical to the serial backend at any worker count.
+
+Lease expiry compares the orchestrator's wall clock against claim mtimes
+written by the worker's host (or the NFS server).  Cross-host
+deployments therefore assume clocks synchronised to well within
+``lease_timeout`` (standard NTP drift is orders of magnitude below the
+30 s default); a worker host ahead of the orchestrator by more than the
+lease window would keep dead claims alive, one behind would spuriously
+requeue live ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Union
+
+from ..cache import ArtifactCache
+from .base import ExecutionReport, SweepExecutor
+
+__all__ = ["QueuePaths", "QueueExecutor", "queue_paths", "ensure_queue_dirs",
+           "write_json_atomic", "read_json"]
+
+
+@dataclass(frozen=True)
+class QueuePaths:
+    """The well-known locations inside one queue directory."""
+
+    root: Path
+    tasks: Path
+    claims: Path
+    results: Path
+    workers: Path
+    stop: Path
+
+
+def queue_paths(root: Union[str, Path]) -> QueuePaths:
+    root = Path(root).expanduser()
+    return QueuePaths(
+        root=root,
+        tasks=root / "tasks",
+        claims=root / "claims",
+        results=root / "results",
+        workers=root / "workers",
+        stop=root / "stop",
+    )
+
+
+def ensure_queue_dirs(root: Union[str, Path]) -> QueuePaths:
+    paths = queue_paths(root)
+    for directory in (paths.tasks, paths.claims, paths.results, paths.workers):
+        directory.mkdir(parents=True, exist_ok=True)
+    return paths
+
+
+def write_json_atomic(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write a JSON file with temp-file + ``os.replace`` (never torn)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Read a JSON file; ``None`` when missing, torn or not a dict."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class QueueExecutor(SweepExecutor):
+    """Distribute cells to worker daemons over a shared queue directory.
+
+    The executor is passive: it submits task files, then polls for
+    results, expiring stale leases along the way.  Workers are started
+    separately (``repro worker <queue-dir>`` or
+    :func:`repro.flow.worker.run_worker`) — before or after the sweep,
+    on this host or any host sharing the filesystem.
+
+    Args:
+        queue_dir: the shared queue directory (created if missing).
+        lease_timeout: seconds without a claim heartbeat before a cell is
+            requeued (worker presumed dead).
+        poll_interval: orchestrator polling period in seconds.
+        timeout: overall deadline in seconds; ``None`` waits forever
+            (e.g. for workers that have not started yet).
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        lease_timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        self.queue_dir = Path(queue_dir).expanduser()
+        self.lease_timeout = float(lease_timeout)
+        self.poll_interval = float(poll_interval)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- execution
+    def execute(
+        self,
+        tasks: Sequence[Mapping[str, Any]],
+        *,
+        fsms: Optional[Mapping[str, Any]] = None,
+        cache: Optional[ArtifactCache] = None,
+    ) -> ExecutionReport:
+        paths = ensure_queue_dirs(self.queue_dir)
+        # A per-run nonce keeps concurrent sweeps sharing one queue
+        # directory from colliding on cell ids (results are consumed).
+        run_id = uuid.uuid4().hex[:8]
+        ids: List[str] = []
+        for index, task in enumerate(tasks):
+            cid = f"{run_id}-{task.get('cell', f'{index:05d}')}"
+            # lease_timeout rides with the task so workers derive a
+            # matching heartbeat even when started with a different flag.
+            write_json_atomic(
+                paths.tasks / f"{cid}.json",
+                {"cell": cid, "task": dict(task), "lease_timeout": self.lease_timeout},
+            )
+            ids.append(cid)
+
+        outcomes: Dict[str, Dict[str, Any]] = {}
+        requeues = 0
+        workers_seen: Set[str] = set()
+        start = time.monotonic()
+        while len(outcomes) < len(ids):
+            progressed = False
+            for cid in ids:
+                if cid in outcomes:
+                    continue
+                result_path = paths.results / f"{cid}.json"
+                payload = read_json(result_path)
+                if payload is None:
+                    continue
+                outcomes[cid] = payload["outcome"]
+                worker = payload["outcome"].get("worker")
+                if worker:
+                    workers_seen.add(worker)
+                for stale in (result_path, paths.claims / f"{cid}.json"):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+                progressed = True
+            # Count only registrations with a fresh liveness heartbeat:
+            # a kill -9'd worker never unlinks its file, and other sweeps
+            # sharing the directory leave theirs — neither serviced us.
+            # (Workers busy on a long cell heartbeat the claim instead,
+            # but they are counted through their result's worker tag.)
+            now = time.time()
+            for registration in paths.workers.glob("*.json"):
+                try:
+                    if now - registration.stat().st_mtime <= self.lease_timeout:
+                        workers_seen.add(registration.stem)
+                except OSError:
+                    pass
+            if len(outcomes) == len(ids):
+                break
+            requeues += self._expire_stale_leases(paths, ids, outcomes)
+            if self.timeout is not None and time.monotonic() - start > self.timeout:
+                missing = len(ids) - len(outcomes)
+                self._abandon(paths, ids, outcomes)
+                raise TimeoutError(
+                    f"queue sweep timed out after {self.timeout:.0f}s with "
+                    f"{missing} unfinished cell(s) in {self.queue_dir} "
+                    f"(are any 'repro worker' daemons running?)"
+                )
+            if not progressed:
+                time.sleep(self.poll_interval)
+
+        return ExecutionReport(
+            outcomes=[outcomes[cid] for cid in ids],
+            backend=self.name,
+            workers=max(1, len(workers_seen)),
+            cells_requeued=requeues,
+            extra={
+                "queue_dir": str(self.queue_dir),
+                "workers_seen": sorted(workers_seen),
+            },
+        )
+
+    def _abandon(
+        self,
+        paths: QueuePaths,
+        ids: Sequence[str],
+        outcomes: Mapping[str, Any],
+    ) -> None:
+        """Best-effort removal of this run's leftover queue files.
+
+        Called on timeout so long-lived workers on a persistent queue
+        directory do not keep claiming orphaned cells and piling up
+        results nobody will consume.  A worker mid-cell may still write
+        one result after this sweep of the directory; that lone file is
+        consumed by no one but also re-created by no one.
+        """
+        for cid in ids:
+            if cid in outcomes:
+                continue
+            for leftover in (
+                paths.tasks / f"{cid}.json",
+                paths.claims / f"{cid}.json",
+                paths.results / f"{cid}.json",
+            ):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+
+    def _expire_stale_leases(
+        self,
+        paths: QueuePaths,
+        ids: Sequence[str],
+        outcomes: Mapping[str, Any],
+    ) -> int:
+        """Requeue claims whose heartbeat went stale (dead worker)."""
+        requeued = 0
+        now = time.time()
+        for cid in ids:
+            if cid in outcomes:
+                continue
+            claim = paths.claims / f"{cid}.json"
+            try:
+                mtime = claim.stat().st_mtime
+            except OSError:
+                continue
+            if now - mtime <= self.lease_timeout:
+                continue
+            try:
+                os.replace(claim, paths.tasks / f"{cid}.json")
+                requeued += 1
+            except OSError:
+                # The worker beat us to finishing (or another orchestrator
+                # requeued it first) — nothing to do.
+                pass
+        return requeued

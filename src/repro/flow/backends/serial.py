@@ -1,0 +1,39 @@
+"""In-process serial execution — the reference backend.
+
+Runs every cell in the caller's process, reusing the live FSM objects and
+the orchestrator's shared :class:`~repro.flow.cache.ArtifactCache`
+instance (so hit/miss statistics accumulate where the caller can see
+them).  Every other backend is validated against this one: bit-identical
+results at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from ..cache import ArtifactCache
+from ..cells import run_cell
+from .base import ExecutionReport, SweepExecutor
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(SweepExecutor):
+    """Run cells one after another in the current process."""
+
+    name = "serial"
+    in_process = True
+
+    def execute(
+        self,
+        tasks: Sequence[Mapping[str, Any]],
+        *,
+        fsms: Optional[Mapping[str, Any]] = None,
+        cache: Optional[ArtifactCache] = None,
+    ) -> ExecutionReport:
+        by_name = dict(fsms or {})
+        outcomes = [
+            run_cell(task, fsm=by_name.get(task["name"]), cache=cache, worker="local")
+            for task in tasks
+        ]
+        return ExecutionReport(outcomes=outcomes, backend=self.name, workers=1)

@@ -10,6 +10,12 @@ The layout is a two-level fan-out of JSON files (``ab/abcdef....json``)
 under one root directory.  Writes are atomic (temp file + ``os.replace``)
 so concurrent sweep workers sharing a cache directory never observe a torn
 artifact; unparseable files are treated as misses and dropped.
+
+The store is size-bounded on request: construct with ``max_bytes=`` (every
+write then garbage-collects down to the bound) or call :meth:`gc`
+explicitly.  Eviction is LRU by file mtime — hits touch their artifact, so
+recently served results survive a collection (``repro cache gc`` from the
+CLI drives the same code).
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 __all__ = ["ArtifactCache", "artifact_key", "default_cache_dir"]
 
@@ -49,11 +55,19 @@ def default_cache_dir() -> Optional[Path]:
 class ArtifactCache:
     """A content-addressed JSON artifact store on the local filesystem."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.root = Path(root).expanduser()
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
+        # Approximate store size, maintained incrementally so bounded
+        # writes do not rescan the whole store; authoritative totals come
+        # from the full stat() pass inside gc().
+        self._approx_bytes: Optional[int] = None
 
     @classmethod
     def from_env(cls) -> Optional["ArtifactCache"]:
@@ -92,6 +106,10 @@ class ArtifactCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # touch: LRU eviction spares recently served artifacts
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
@@ -110,6 +128,19 @@ class ArtifactCache:
                 pass
             raise
         self.writes += 1
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            # Only pay the full eviction scan once the tracked total
+            # crosses the bound (concurrent writers make the tracked
+            # value approximate; gc() re-measures authoritatively).
+            if self._approx_bytes > self.max_bytes:
+                self.gc()
 
     # ------------------------------------------------------------ management
     def _artifact_paths(self) -> Iterator[Path]:
@@ -120,6 +151,16 @@ class ArtifactCache:
     def __len__(self) -> int:
         return sum(1 for _ in self._artifact_paths())
 
+    def total_bytes(self) -> int:
+        """The summed on-disk size of every stored artifact."""
+        total = 0
+        for path in self._artifact_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""
         removed = 0
@@ -129,11 +170,53 @@ class ArtifactCache:
                 removed += 1
             except OSError:
                 pass
+        self._approx_bytes = 0
         return removed
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Evict least-recently-used artifacts until the store fits.
+
+        ``max_bytes`` overrides the instance bound for this collection
+        (``None`` falls back to ``self.max_bytes``; with neither set the
+        call only reports sizes).  Returns ``removed`` / ``freed_bytes`` /
+        ``total_bytes`` (remaining).
+        """
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        entries: List[Tuple[float, int, Path]] = []
+        total = 0
+        for path in self._artifact_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        removed = 0
+        freed = 0
+        if bound is not None and total > bound:
+            entries.sort()  # oldest mtime first: LRU because hits touch
+            for _, size, path in entries:
+                if total <= bound:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+                freed += size
+        self.evictions += removed
+        self._approx_bytes = total
+        return {"removed": removed, "freed_bytes": freed, "total_bytes": total}
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,227 @@
+"""Execution of one sweep cell from its serializable payload.
+
+A *cell* is the unit of sweep work: one ``(machine, structure, seed)``
+flow run or one Table 2 random-encoding baseline, shipped as a plain
+JSON-safe dictionary (machine name, KISS2 text, declared state order,
+config dict, optional cache directory).  :func:`run_cell` turns a payload
+back into real work — it is the single entry point every executor backend
+(in-process, process pool, work-queue worker daemon) funnels through, so
+all of them produce bit-identical results by construction.
+
+The returned *outcome* is itself JSON-safe::
+
+    {
+        "kind": "flow" | "baseline",
+        "cell": "<cell id>",             # passthrough from the payload
+        "result": {...},                 # FlowResult / BaselineResult dict
+        "worker": "<worker id>",         # who ran it (executor-assigned)
+        "cache_stats": {"hits": h, ...}  # this cell's cache activity delta
+    }
+
+``cache_stats`` is a per-cell *delta* (counters before vs. after), so it
+aggregates correctly both for pooled/remote workers (fresh cache object
+per cell) and for the in-process path, where one shared
+:class:`~repro.flow.cache.ArtifactCache` instance accumulates across
+cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..bist.structures import BISTStructure
+from ..bist.synthesis import synthesize
+from ..encoding.random_search import random_search
+from ..fsm.kiss import parse_kiss
+from ..fsm.machine import FSM
+from .cache import ArtifactCache, artifact_key
+from .config import FlowConfig
+from .pipeline import fsm_digest, run_flow
+
+__all__ = ["BaselineResult", "cell_id", "rebuild_fsm", "run_cell"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Random-encoding baseline of one machine (Table 2 columns).
+
+    ``seconds`` always means *compute* time: on a cache hit it is the
+    stored wall-clock of the original computation (persisted with the
+    payload), never the time of the cache lookup itself — that is
+    reported separately as ``lookup_seconds`` so ``uncached_seconds``-style
+    accounting stays honest.
+    """
+
+    fsm: str
+    trials: int
+    random_seed: int
+    average: float
+    best: int
+    seconds: float
+    cached: bool = False
+    lookup_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fsm": self.fsm,
+            "trials": self.trials,
+            "random_seed": self.random_seed,
+            "average": self.average,
+            "best": self.best,
+            "seconds": round(self.seconds, 6),
+            "cached": self.cached,
+            "lookup_seconds": round(self.lookup_seconds, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BaselineResult":
+        return cls(
+            fsm=data["fsm"],
+            trials=int(data["trials"]),
+            random_seed=int(data["random_seed"]),
+            average=float(data["average"]),
+            best=int(data["best"]),
+            seconds=float(data["seconds"]),
+            cached=bool(data["cached"]),
+            lookup_seconds=float(data.get("lookup_seconds", 0.0)),
+        )
+
+
+def cell_id(index: int, task: Mapping[str, Any]) -> str:
+    """Deterministic id of one cell: submission index + payload digest.
+
+    The index keeps ids unique and ordered even for identical payloads;
+    the digest ties the id to the cell's content so queue artifacts are
+    self-describing.
+    """
+    body = {k: v for k, v in task.items() if k != "cell"}
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:12]
+    return f"{index:05d}-{digest}"
+
+
+def rebuild_fsm(task: Mapping[str, Any]) -> FSM:
+    """Reconstruct the cell's machine from its KISS2 text payload.
+
+    The original state *order* is re-imposed: KISS2 text orders states by
+    first appearance in the transitions, but the assignment heuristics
+    break ties by state index, so the declared order must survive the
+    transport for remote results to be bit-identical to an in-process run.
+    """
+    parsed = parse_kiss(task["kiss"], name=task["name"])
+    return FSM(
+        parsed.name,
+        parsed.num_inputs,
+        parsed.num_outputs,
+        parsed.transitions,
+        reset_state=parsed.reset_state,
+        states=task["states"],
+    )
+
+
+def run_cell(
+    task: Mapping[str, Any],
+    fsm: Optional[FSM] = None,
+    cache: Optional[ArtifactCache] = None,
+    worker: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one cell payload and return its serializable outcome.
+
+    ``fsm``/``cache`` may be supplied by an in-process caller to reuse
+    live objects; otherwise both are rebuilt from the payload (the shape
+    every out-of-process worker uses).
+    """
+    if fsm is None:
+        fsm = rebuild_fsm(task)
+    if cache is None and task.get("cache_dir"):
+        cache = ArtifactCache(task["cache_dir"])
+    before = dict(cache.stats) if cache is not None else None
+    config = FlowConfig.from_dict(task["config"])
+    if task["kind"] == "flow":
+        result = run_flow(fsm, config, cache=cache).to_dict()
+    else:
+        result = _random_baseline(
+            fsm, config, cache, trials=task["trials"], random_seed=task["random_seed"]
+        ).to_dict()
+    outcome: Dict[str, Any] = {
+        "kind": task["kind"],
+        "cell": task.get("cell"),
+        "result": result,
+        "worker": worker,
+    }
+    if cache is not None:
+        after = cache.stats
+        outcome["cache_stats"] = {
+            key: after.get(key, 0) - before.get(key, 0) for key in after
+        }
+    else:
+        outcome["cache_stats"] = None
+    return outcome
+
+
+def _random_baseline(
+    fsm: FSM,
+    config: FlowConfig,
+    cache: Optional[ArtifactCache],
+    trials: int,
+    random_seed: int,
+) -> BaselineResult:
+    """Average/best product terms over random PST encodings (Table 2)."""
+    lookup_start = time.perf_counter()
+    key = None
+    if cache is not None:
+        config_digest = hashlib.sha256(
+            json.dumps(
+                {
+                    "minimize": config.replace(structure="PST").stage_digest("minimize"),
+                    "trials": trials,
+                    "random_seed": random_seed,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        ).hexdigest()
+        key = artifact_key(fsm_digest(fsm), "baseline", config_digest)
+        payload = cache.get(key)
+        if payload is not None:
+            return BaselineResult(
+                fsm=fsm.name,
+                trials=trials,
+                random_seed=random_seed,
+                average=payload["average"],
+                best=payload["best"],
+                # Stored compute time of the original run — a cache hit
+                # must not report its (tiny) lookup wall-clock as compute.
+                seconds=float(payload.get("seconds", 0.0)),
+                cached=True,
+                lookup_seconds=time.perf_counter() - lookup_start,
+            )
+
+    start = time.perf_counter()
+    options = config.to_synthesis_options()
+    search = random_search(
+        fsm,
+        lambda enc, m=fsm: synthesize(
+            m, BISTStructure.PST, encoding=enc, options=options
+        ).product_terms,
+        trials=trials,
+        seed=random_seed,
+    )
+    average = search.average_cost
+    best = int(search.best_cost)
+    seconds = time.perf_counter() - start
+    if cache is not None and key is not None:
+        cache.put(key, {"average": average, "best": best, "seconds": round(seconds, 6)})
+    return BaselineResult(
+        fsm=fsm.name,
+        trials=trials,
+        random_seed=random_seed,
+        average=average,
+        best=best,
+        seconds=seconds,
+        cached=False,
+    )

@@ -1,90 +1,62 @@
 """Batch sweep orchestration over ``machines x structures x seeds`` grids.
 
-:class:`Sweep` runs the staged pipeline over a benchmark grid through **one
-shared process pool** — instead of each stage spawning its own — with the
-same determinism guarantee as the PR 1/2 engines: cells are merged in
-submission order, and worker-side configurations are forced to ``jobs=1``,
-so the sweep result is bit-identical at every ``jobs`` count.  With an
-artifact cache attached, a repeated sweep only recomputes cells whose
-machine or configuration changed; everything else is served from disk.
+:class:`Sweep` is pure orchestration: it generates the serializable cell
+payloads (:meth:`Sweep.cells`), hands them to a pluggable executor
+backend (:mod:`repro.flow.backends` — in-process serial, local process
+pool, or a filesystem work-queue serviced by ``repro worker`` daemons),
+and reassembles the outcomes **in submission order** into one
+:class:`SweepResult`.  Every backend funnels through the same
+:func:`repro.flow.cells.run_cell`, so the sweep result is bit-identical
+at every worker count and across backends (modulo timing and
+worker-metadata fields).  With an artifact cache attached, a repeated
+sweep only recomputes cells whose machine or configuration changed.
 
 The optional random-encoding baseline of the Table 2 experiment (average /
-best of N random state assignments) runs through the same pool and the same
-cache, as a ``baseline`` pseudo-stage keyed by the trial count and seed.
+best of N random state assignments) runs through the same executor and the
+same cache, as a ``baseline`` pseudo-stage keyed by the trial count and
+seed.
 
-Cells are shipped to workers as ``(name, KISS2 text, state order, config
-dict)`` — the exact serializable payload a future work-queue service can
-distribute across machines (the ROADMAP "multi-machine sharding" item plugs
-in here).
+Cells are shipped as ``(name, KISS2 text, state order, config dict)``
+payloads — JSON-safe, which is what lets the queue backend distribute
+them across processes and hosts.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..bist.structures import BISTStructure
-from ..bist.synthesis import synthesize
-from ..encoding.random_search import random_search
 from ..fsm.kiss import write_kiss
 from ..fsm.machine import FSM
-from .cache import ArtifactCache, artifact_key
+from .backends import SweepExecutor, resolve_backend
+from .cache import ArtifactCache
+from .cells import BaselineResult, cell_id, run_cell
 from .config import FlowConfig
-from .pipeline import FSMSource, fsm_digest, resolve_fsm, run_flow
-from .results import FlowResult
+from .pipeline import FSMSource, resolve_fsm
+from .results import FlowResult, jsonable
 
 __all__ = ["Sweep", "SweepResult", "BaselineResult"]
 
-SWEEP_RESULT_SCHEMA = "repro.flow-sweep/1"
+SWEEP_RESULT_SCHEMA = "repro.flow-sweep/2"
 
 #: Default structure grid of the Table 3 experiment.
 DEFAULT_STRUCTURES: Tuple[str, ...] = ("PST", "DFF", "PAT")
 
 
 @dataclass(frozen=True)
-class BaselineResult:
-    """Random-encoding baseline of one machine (Table 2 columns)."""
-
-    fsm: str
-    trials: int
-    random_seed: int
-    average: float
-    best: int
-    seconds: float
-    cached: bool = False
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "fsm": self.fsm,
-            "trials": self.trials,
-            "random_seed": self.random_seed,
-            "average": self.average,
-            "best": self.best,
-            "seconds": round(self.seconds, 6),
-            "cached": self.cached,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "BaselineResult":
-        return cls(
-            fsm=data["fsm"],
-            trials=int(data["trials"]),
-            random_seed=int(data["random_seed"]),
-            average=float(data["average"]),
-            best=int(data["best"]),
-            seconds=float(data["seconds"]),
-            cached=bool(data["cached"]),
-        )
-
-
-@dataclass(frozen=True)
 class SweepResult:
-    """Serializable result of one sweep: every cell plus the baselines."""
+    """Serializable result of one sweep: every cell plus the baselines.
+
+    ``executor`` records how the sweep ran (backend name, worker count,
+    requeued cells, per-cell worker ids) and ``cache_stats`` the
+    aggregated artifact-cache activity of every cell — including cells
+    that ran in pool workers or on remote queue workers, whose cache
+    counters used to be silently dropped.
+    """
 
     machines: Tuple[str, ...]
     structures: Tuple[str, ...]
@@ -93,6 +65,8 @@ class SweepResult:
     results: Tuple[FlowResult, ...]
     baselines: Mapping[str, BaselineResult] = field(default_factory=dict)
     total_seconds: float = 0.0
+    executor: Mapping[str, Any] = field(default_factory=dict)
+    cache_stats: Mapping[str, int] = field(default_factory=dict)
     schema: str = SWEEP_RESULT_SCHEMA
 
     def result_for(
@@ -132,6 +106,8 @@ class SweepResult:
             "results": [result.to_dict() for result in self.results],
             "baselines": {name: b.to_dict() for name, b in self.baselines.items()},
             "total_seconds": round(self.total_seconds, 6),
+            "executor": jsonable(dict(self.executor)),
+            "cache_stats": dict(self.cache_stats),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -150,12 +126,14 @@ class SweepResult:
                 for name, b in data.get("baselines", {}).items()
             },
             total_seconds=float(data.get("total_seconds", 0.0)),
+            executor=dict(data.get("executor", {})),
+            cache_stats=dict(data.get("cache_stats", {})),
             schema=data.get("schema", SWEEP_RESULT_SCHEMA),
         )
 
 
 class Sweep:
-    """Run ``machines x structures x seeds`` through one shared process pool.
+    """Run ``machines x structures x seeds`` through one executor backend.
 
     Args:
         machines: FSMs, ``.kiss2`` paths or registered benchmark names.
@@ -164,10 +142,17 @@ class Sweep:
         config: base :class:`FlowConfig`; ``structure``/``seed`` are
             overridden per cell.
         cache: optional shared artifact cache (or a directory path).
-        jobs: sweep-level worker processes.  With ``jobs > 1`` the cells run
-            in a process pool and every worker-side config is forced to
-            ``jobs=1`` (no nested pools); the merge order is the submission
-            order, so results are identical at every jobs count.
+        jobs: back-compat worker count.  With ``backend=None``,
+            ``jobs > 1`` selects the local process pool (cells merge in
+            submission order, so results are identical at every jobs
+            count); ``jobs == 1`` runs serially in-process.
+        backend: executor backend — ``"serial"``, ``"pool"``, ``"queue"``,
+            or a :class:`~repro.flow.backends.SweepExecutor` instance.
+            ``None`` keeps the ``jobs=``-based mapping above.
+        queue_dir: shared work-queue directory (queue backend only).
+        lease_timeout: queue-lease expiry in seconds (queue backend only).
+        queue_timeout: overall queue deadline in seconds; ``None`` waits
+            forever for workers (queue backend only).
         random_trials: with a value, additionally run the Table 2
             random-encoding baseline (``random_trials`` random PST
             assignments per machine, seeded with ``random_seed``).
@@ -182,6 +167,10 @@ class Sweep:
         config: Optional[FlowConfig] = None,
         cache: Optional[Union[ArtifactCache, str, Path]] = None,
         jobs: int = 1,
+        backend: Optional[Union[str, SweepExecutor]] = None,
+        queue_dir: Optional[Union[str, Path]] = None,
+        lease_timeout: float = 30.0,
+        queue_timeout: Optional[float] = None,
         random_trials: Optional[int] = None,
         random_seed: int = 1991,
         data_dir: Optional[Union[str, Path]] = None,
@@ -205,6 +194,13 @@ class Sweep:
             cache = ArtifactCache(cache)
         self.cache: Optional[ArtifactCache] = cache
         self.jobs = max(1, int(jobs))
+        self.executor: SweepExecutor = resolve_backend(
+            backend,
+            jobs=self.jobs,
+            queue_dir=queue_dir,
+            lease_timeout=lease_timeout,
+            timeout=queue_timeout,
+        )
         self.random_trials = random_trials
         self.random_seed = random_seed
 
@@ -212,11 +208,14 @@ class Sweep:
     def cells(self) -> List[Dict[str, Any]]:
         """The work items of this sweep, in deterministic merge order.
 
-        Each cell is a plain JSON-safe dictionary (machine name, KISS2
-        text, config dict) — the payload shape a remote work queue would
-        distribute.
+        Each cell is a plain JSON-safe dictionary (cell id, machine name,
+        KISS2 text, state order, config dict) — the payload shape the
+        executor backends distribute, locally or across hosts.
         """
-        worker_jobs = 1 if self.jobs > 1 else self.config.jobs
+        # Out-of-process backends force worker-side jobs=1: no nested
+        # process pools, and the stage digests exclude ``jobs`` so the
+        # results are identical either way.
+        worker_jobs = self.config.jobs if self.executor.in_process else 1
         tasks: List[Dict[str, Any]] = []
         cache_dir = str(self.cache.root) if self.cache is not None else None
         for fsm in self.fsms:
@@ -249,33 +248,55 @@ class Sweep:
                         "config": cell_config.to_dict(),
                         "cache_dir": cache_dir,
                     })
+        for index, task in enumerate(tasks):
+            task["cell"] = cell_id(index, task)
         return tasks
 
     # ------------------------------------------------------------------ run
     def run(self) -> SweepResult:
         start = time.perf_counter()
         tasks = self.cells()
-        if self.jobs > 1:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                # executor.map preserves submission order: deterministic merge.
-                outcomes = list(pool.map(_sweep_worker, tasks))
-        else:
-            # In-process: reuse the live FSM objects and the shared cache so
-            # hit/miss statistics accumulate on the caller's cache instance.
-            by_name = {fsm.name: fsm for fsm in self.fsms}
-            outcomes = [
-                _run_cell(task, fsm=by_name[task["name"]], cache=self.cache)
-                for task in tasks
-            ]
+        report = self.executor.execute(
+            tasks,
+            fsms={fsm.name: fsm for fsm in self.fsms},
+            cache=self.cache,
+        )
 
         results: List[FlowResult] = []
         baselines: Dict[str, BaselineResult] = {}
-        for outcome in outcomes:
+        cell_meta: List[Dict[str, Any]] = []
+        cache_totals: Dict[str, int] = {}
+        for task, outcome in zip(tasks, report.outcomes):
+            if outcome.get("error"):
+                raise RuntimeError(
+                    f"sweep cell {task['cell']} ({task['kind']}:{task['name']}) "
+                    f"failed on worker {outcome.get('worker')}: {outcome['error']}"
+                )
+            stats = outcome.get("cache_stats")
+            if stats:
+                for key, value in stats.items():
+                    cache_totals[key] = cache_totals.get(key, 0) + int(value)
+            cell_meta.append({
+                "cell": task["cell"],
+                "kind": task["kind"],
+                "fsm": task["name"],
+                "structure": task["config"]["structure"],
+                "seed": task["config"]["seed"],
+                "worker": outcome.get("worker"),
+            })
             if outcome["kind"] == "flow":
                 results.append(FlowResult.from_dict(outcome["result"]))
             else:
                 baseline = BaselineResult.from_dict(outcome["result"])
                 baselines[baseline.fsm] = baseline
+
+        executor_meta: Dict[str, Any] = {
+            "backend": report.backend,
+            "workers": report.workers,
+            "cells_requeued": report.cells_requeued,
+            "cells": cell_meta,
+        }
+        executor_meta.update(report.extra)
         return SweepResult(
             machines=self.machines,
             structures=self.structures,
@@ -284,99 +305,11 @@ class Sweep:
             results=tuple(results),
             baselines=baselines,
             total_seconds=time.perf_counter() - start,
+            executor=executor_meta,
+            cache_stats=cache_totals,
         )
 
 
-# ------------------------------------------------------------ worker side
-
-
 def _sweep_worker(task: Dict[str, Any]) -> Dict[str, Any]:
-    """Process-pool entry point: rebuild the cell from its payload and run."""
-    from ..fsm.kiss import parse_kiss
-
-    parsed = parse_kiss(task["kiss"], name=task["name"])
-    # Re-impose the original state order: KISS2 text orders states by first
-    # appearance in the transitions, but the assignment heuristics break
-    # ties by state index, so the declared order must survive the transport
-    # for worker results to be bit-identical to an in-process run.
-    fsm = FSM(
-        parsed.name,
-        parsed.num_inputs,
-        parsed.num_outputs,
-        parsed.transitions,
-        reset_state=parsed.reset_state,
-        states=task["states"],
-    )
-    cache = ArtifactCache(task["cache_dir"]) if task["cache_dir"] else None
-    return _run_cell(task, fsm=fsm, cache=cache)
-
-
-def _run_cell(
-    task: Dict[str, Any], fsm: FSM, cache: Optional[ArtifactCache]
-) -> Dict[str, Any]:
-    config = FlowConfig.from_dict(task["config"])
-    if task["kind"] == "flow":
-        result = run_flow(fsm, config, cache=cache)
-        return {"kind": "flow", "result": result.to_dict()}
-    baseline = _random_baseline(
-        fsm, config, cache, trials=task["trials"], random_seed=task["random_seed"]
-    )
-    return {"kind": "baseline", "result": baseline.to_dict()}
-
-
-def _random_baseline(
-    fsm: FSM,
-    config: FlowConfig,
-    cache: Optional[ArtifactCache],
-    trials: int,
-    random_seed: int,
-) -> BaselineResult:
-    """Average/best product terms over random PST encodings (Table 2)."""
-    start = time.perf_counter()
-    key = None
-    if cache is not None:
-        config_digest = hashlib.sha256(
-            json.dumps(
-                {
-                    "minimize": config.replace(structure="PST").stage_digest("minimize"),
-                    "trials": trials,
-                    "random_seed": random_seed,
-                },
-                sort_keys=True,
-            ).encode("utf-8")
-        ).hexdigest()
-        key = artifact_key(fsm_digest(fsm), "baseline", config_digest)
-        payload = cache.get(key)
-        if payload is not None:
-            return BaselineResult(
-                fsm=fsm.name,
-                trials=trials,
-                random_seed=random_seed,
-                average=payload["average"],
-                best=payload["best"],
-                seconds=time.perf_counter() - start,
-                cached=True,
-            )
-
-    options = config.to_synthesis_options()
-    search = random_search(
-        fsm,
-        lambda enc, m=fsm: synthesize(
-            m, BISTStructure.PST, encoding=enc, options=options
-        ).product_terms,
-        trials=trials,
-        seed=random_seed,
-    )
-    average = search.average_cost
-    best = int(search.best_cost)
-    if cache is not None and key is not None:
-        cache.put(key, {"average": average, "best": best})
-    return BaselineResult(
-        fsm=fsm.name,
-        trials=trials,
-        random_seed=random_seed,
-        average=average,
-        best=best,
-        seconds=time.perf_counter() - start,
-        cached=False,
-    )
+    """Back-compat process-pool entry point (see :func:`repro.flow.cells.run_cell`)."""
+    return run_cell(task)

@@ -1,0 +1,210 @@
+"""Work-queue worker daemon for distributed sweep cells.
+
+``repro worker <queue-dir>`` (or :func:`run_worker` embedded in a host
+process) services the filesystem queue of
+:class:`~repro.flow.backends.QueueExecutor`: claim a cell by atomic
+rename, heartbeat the claim's mtime while it runs, execute it through the
+same :func:`~repro.flow.cells.run_cell` every other backend uses, write
+the serialized outcome back with an atomic replace, release the claim.
+Any number of workers — started before or after the sweep, on any host
+sharing the queue directory — cooperate safely: the rename claim hands
+each cell to exactly one live worker, and a worker killed mid-cell simply
+stops heartbeating, so the orchestrator requeues its lease.
+
+Workers exit when the queue's ``stop`` sentinel file appears, after
+``max_idle`` seconds without work, or — with ``once=True`` — as soon as a
+scan finds the queue drained.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .backends.queue import (
+    QueuePaths,
+    ensure_queue_dirs,
+    read_json,
+    write_json_atomic,
+)
+from .cells import run_cell
+
+__all__ = ["WorkerStats", "run_worker"]
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did before it exited."""
+
+    worker_id: str
+    cells: int = 0
+    failures: int = 0
+    busy_seconds: float = 0.0
+    stopped_by: str = "idle"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "cells": self.cells,
+            "failures": self.failures,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "stopped_by": self.stopped_by,
+        }
+
+
+def _heartbeat(path: Path, interval: float, done: threading.Event) -> None:
+    """Touch the claim file until the cell finishes (lease keep-alive)."""
+    while not done.wait(interval):
+        try:
+            os.utime(path)
+        except OSError:
+            # The orchestrator requeued our lease out from under us; the
+            # run continues — duplicate execution is idempotent.
+            return
+
+
+def _claim_next(paths: QueuePaths) -> Optional[Tuple[str, Path, Dict[str, Any]]]:
+    """Claim the oldest pending task, or ``None`` when the queue is idle."""
+    try:
+        pending = sorted(p for p in paths.tasks.iterdir() if p.suffix == ".json")
+    except OSError:
+        return None
+    for task_path in pending:
+        claim_path = paths.claims / task_path.name
+        try:
+            os.replace(task_path, claim_path)
+        except OSError:
+            continue  # another worker won the rename
+        try:
+            # Rename preserves the submit-time mtime; stamp the claim with
+            # *now* so the lease clock starts at claim time.
+            os.utime(claim_path)
+        except OSError:
+            continue  # requeued out from under us in the stamp window
+        payload = read_json(claim_path)
+        if payload is None or "task" not in payload:
+            try:
+                claim_path.unlink()  # corrupt task file: drop it
+            except OSError:
+                pass
+            continue
+        return payload.get("cell", task_path.stem), claim_path, payload
+    return None
+
+
+def run_worker(
+    queue_dir: Union[str, Path],
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.1,
+    lease_timeout: float = 30.0,
+    max_idle: Optional[float] = None,
+    once: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> WorkerStats:
+    """Service a queue directory until stopped; returns the run's stats.
+
+    Args:
+        queue_dir: the shared queue directory (created if missing).
+        cache_dir: override the artifact-cache directory of every cell
+            (default: each cell's own ``cache_dir`` payload field).
+        worker_id: stable identity for logs/metadata (default: generated
+            from hostname, pid and a nonce).
+        poll_interval: idle polling period in seconds.
+        lease_timeout: fallback lease window; each task carries the
+            orchestrator's actual window and the claim heartbeat runs at
+            a quarter of the tighter of the two.
+        max_idle: exit after this many idle seconds (``None``: wait for
+            the ``stop`` sentinel).
+        once: exit as soon as a scan finds no pending task (drain mode).
+        log: line sink for progress messages (``None``: silent).
+    """
+    paths = ensure_queue_dirs(queue_dir)
+    wid = worker_id or f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    emit = log or (lambda line: None)
+    registration = paths.workers / f"{wid}.json"
+    write_json_atomic(
+        registration,
+        {"worker": wid, "pid": os.getpid(), "host": socket.gethostname()},
+    )
+    stats = WorkerStats(worker_id=wid)
+    idle_since = time.monotonic()
+    emit(f"[{wid}] serving {paths.root}")
+    try:
+        while True:
+            if paths.stop.exists():
+                stats.stopped_by = "stop-file"
+                break
+            claimed = _claim_next(paths)
+            if claimed is None:
+                if once:
+                    stats.stopped_by = "drained"
+                    break
+                if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                    stats.stopped_by = "idle"
+                    break
+                try:
+                    os.utime(registration)  # liveness heartbeat
+                except OSError:
+                    pass
+                time.sleep(poll_interval)
+                continue
+
+            cid, claim_path, payload = claimed
+            idle_since = time.monotonic()
+            started = time.perf_counter()
+            task = dict(payload["task"])
+            if cache_dir is not None:
+                task["cache_dir"] = str(cache_dir)
+            # The orchestrator ships its lease window with each task; honor
+            # the tighter of the two so a worker started with a laxer flag
+            # still heartbeats fast enough to keep its lease alive.
+            effective_lease = min(
+                lease_timeout, float(payload.get("lease_timeout", lease_timeout))
+            )
+            done = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat,
+                args=(claim_path, max(effective_lease / 4.0, 0.05), done),
+                daemon=True,
+            )
+            beat.start()
+            try:
+                outcome = run_cell(task, worker=wid)
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                stats.failures += 1
+                outcome = {
+                    "kind": task.get("kind"),
+                    "cell": cid,
+                    "result": None,
+                    "worker": wid,
+                    "cache_stats": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            finally:
+                done.set()
+                beat.join()
+            write_json_atomic(paths.results / f"{cid}.json", {"cell": cid, "outcome": outcome})
+            try:
+                claim_path.unlink()
+            except OSError:
+                pass  # requeued and re-claimed elsewhere; results are idempotent
+            stats.cells += 1
+            elapsed = time.perf_counter() - started
+            stats.busy_seconds += elapsed
+            emit(f"[{wid}] {cid} {task.get('kind')}:{task.get('name')} ({elapsed:.2f}s)")
+    finally:
+        try:
+            registration.unlink()
+        except OSError:
+            pass
+    emit(f"[{wid}] exiting ({stats.stopped_by}): {stats.cells} cell(s), "
+         f"{stats.failures} failure(s), {stats.busy_seconds:.2f}s busy")
+    return stats

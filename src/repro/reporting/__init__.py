@@ -7,6 +7,8 @@ from .tables import (
     format_paper_vs_measured,
     format_table,
     structure_rows_from_results,
+    sweep_cell_rows,
+    sweep_executor_rows,
     sweep_table2_rows,
     sweep_table3_rows,
 )
@@ -20,4 +22,6 @@ __all__ = [
     "structure_rows_from_results",
     "sweep_table2_rows",
     "sweep_table3_rows",
+    "sweep_cell_rows",
+    "sweep_executor_rows",
 ]

@@ -24,6 +24,8 @@ __all__ = [
     "structure_rows_from_results",
     "sweep_table2_rows",
     "sweep_table3_rows",
+    "sweep_cell_rows",
+    "sweep_executor_rows",
 ]
 
 
@@ -194,6 +196,65 @@ def sweep_table2_rows(
             row["paper best"] = paper.random_best if paper is not None else ""
         row["paper heuristic"] = paper.heuristic if paper is not None else ""
         rows.append(row)
+    return rows
+
+
+def sweep_executor_rows(sweep: Mapping[str, Any]) -> List[List[object]]:
+    """``metric / value`` rows describing how a serialized sweep executed.
+
+    Renders the executor metadata of ``SweepResult.to_dict()`` — backend,
+    worker count, requeued cells, per-worker cell counts — plus the
+    aggregated artifact-cache statistics of every cell (including cells
+    that ran in pool workers or on remote queue workers).
+    """
+    executor = sweep.get("executor", {})
+    rows: List[List[object]] = [
+        ["backend", executor.get("backend", "serial")],
+        ["workers", executor.get("workers", 1)],
+        ["cells requeued", executor.get("cells_requeued", 0)],
+    ]
+    per_worker: Dict[str, int] = {}
+    for cell in executor.get("cells", []):
+        worker = cell.get("worker")
+        if worker:
+            per_worker[worker] = per_worker.get(worker, 0) + 1
+    if per_worker:
+        rows.append(["cells per worker", ", ".join(
+            f"{worker}={count}" for worker, count in sorted(per_worker.items())
+        )])
+    cache_stats = sweep.get("cache_stats", {})
+    if cache_stats:
+        rows.append(["cache hits / misses / writes",
+                     f"{cache_stats.get('hits', 0)} / {cache_stats.get('misses', 0)}"
+                     f" / {cache_stats.get('writes', 0)}"])
+        if cache_stats.get("evictions"):
+            rows.append(["cache evictions", cache_stats["evictions"]])
+    return rows
+
+
+def sweep_cell_rows(sweep: Mapping[str, Any]) -> List[Dict[str, object]]:
+    """One row per sweep cell: metrics plus execution provenance."""
+    workers: Dict[tuple, object] = {}
+    for cell in sweep.get("executor", {}).get("cells", []):
+        key = (cell.get("kind"), cell.get("fsm"), cell.get("structure"), cell.get("seed"))
+        workers[key] = cell.get("worker")
+    rows: List[Dict[str, object]] = []
+    for result in sweep["results"]:
+        metrics = result["metrics"]
+        config = result["config"]
+        work_stages = [s for s in result["stages"] if s["name"] not in ("parse", "report")]
+        rows.append({
+            "benchmark": result["fsm"],
+            "structure": result["structure"],
+            "seed": config["seed"],
+            "product terms": metrics["product_terms"],
+            "SOP literals": metrics["sop_literals"],
+            "multi-level literals": metrics["multilevel_literals"],
+            "cached": "yes" if work_stages and all(s["cached"] for s in work_stages) else "no",
+            "worker": workers.get(
+                ("flow", result["fsm"], result["structure"], config["seed"]), ""
+            ) or "",
+        })
     return rows
 
 
