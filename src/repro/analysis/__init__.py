@@ -1,0 +1,42 @@
+"""AST-based static analysis of the repository's own invariants.
+
+The reproduction's quantitative claims rest on contracts no ordinary test
+exercises end to end: results are bit-identical across engines, backends
+and worker counts, and the artifact cache is content-addressed by
+hand-maintained per-stage key tuples.  This package lints those contracts
+at the source level — a rule registry (:mod:`repro.analysis.rules`), a
+per-file AST visitor driver (:mod:`repro.analysis.driver`), inline
+``# repro: allow-<rule>`` pragmas for justified exceptions, and JSON +
+human findings output — surfaced as the ``repro lint`` CLI subcommand and
+run blocking in CI next to ``mypy --strict``.
+
+Rules:
+
+* ``determinism`` — no ambient randomness or wall-clock reads in
+  digest-relevant packages,
+* ``digest-completeness`` — every ``FlowConfig`` field participates in a
+  stage digest or is explicitly exempted,
+* ``serialization-roundtrip`` — ``to_dict`` dataclasses have a covering
+  ``from_dict``,
+* ``atomic-write`` — flow-layer writes use the tmp-file + ``os.replace``
+  idiom,
+* ``unordered-iteration`` — no ordered iteration over sets in
+  digest/merge paths without ``sorted()``.
+"""
+
+from .core import Finding, Rule, SourceFile
+from .driver import LINT_SCHEMA, LintReport, lint_paths, lint_source
+from .rules import RULE_CLASSES, default_rules, rules_by_name
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "LINT_SCHEMA",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "RULE_CLASSES",
+    "default_rules",
+    "rules_by_name",
+]

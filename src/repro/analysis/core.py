@@ -1,0 +1,248 @@
+"""Core types of the invariant linter: findings, rules, pragma handling.
+
+The linter is a small AST-based static-analysis framework.  A
+:class:`Rule` inspects one parsed :class:`SourceFile` and yields
+:class:`Finding` values; the driver (:mod:`repro.analysis.driver`) walks a
+tree, applies every registered rule, and suppresses findings covered by an
+inline pragma comment::
+
+    some_call()  # repro: allow-<rule> -- justification
+
+A pragma suppresses findings of its rule on the same line or the line
+directly below it (so a justification comment can sit above a long
+statement).  ``allow-all`` suppresses every rule on that line.  Suppressed
+findings are still reported (separately) in the machine-readable output,
+so an audit can review every exemption and its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Rule",
+    "PRAGMA_PATTERN",
+    "extract_pragmas",
+    "module_name_for_path",
+]
+
+#: Inline suppression comment: ``# repro: allow-<rule>`` with an optional
+#: free-form justification after the rule name.
+PRAGMA_PATTERN = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9_-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            message=str(data["message"]),
+            suppressed=bool(data.get("suppressed", False)),
+        )
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}]{tag} {self.message}"
+
+
+def extract_pragmas(text: str) -> Dict[int, Set[str]]:
+    """Map line number (1-based) to the rule names allowed on that line."""
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        names = {match.group(1) for match in PRAGMA_PATTERN.finditer(line)}
+        if names:
+            pragmas[lineno] = names
+    return pragmas
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name of a source path, anchored at the ``repro`` package.
+
+    ``src/repro/flow/config.py`` maps to ``repro.flow.config``; paths outside
+    a ``repro`` tree fall back to their bare stem, which keeps standalone
+    fixture files lintable (rules that scope by module prefix simply skip
+    them unless the caller overrides the module name).
+    """
+    parts = [p for p in re.split(r"[\\/]+", str(path)) if p and p != "."]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+        return ".".join(parts)
+    return parts[-1] if parts else ""
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: str
+    text: str
+    module: str
+    tree: ast.Module
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(
+        cls, text: str, path: str = "<string>", module: Optional[str] = None
+    ) -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        return cls(
+            path=path,
+            text=text,
+            module=module if module is not None else module_name_for_path(path),
+            tree=tree,
+            pragmas=extract_pragmas(text),
+        )
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Whether a pragma suppresses ``rule`` at ``line``."""
+        for lineno in (line, line - 1):
+            names = self.pragmas.get(lineno)
+            if names and (rule in names or "all" in names):
+                return True
+        return False
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set :attr:`name` (the pragma slug), :attr:`description`, and
+    implement :meth:`check`.  :attr:`module_prefixes` scopes the rule to a
+    set of dotted-module prefixes (empty tuple: every module); the driver
+    consults :meth:`applies_to` before running the rule on a file.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    #: Dotted module prefixes the rule applies to ("" entry or empty tuple:
+    #: everything).  A prefix matches the module itself and any submodule.
+    module_prefixes: Tuple[str, ...] = ()
+
+    def __init__(self, module_prefixes: Optional[Sequence[str]] = None) -> None:
+        if module_prefixes is not None:
+            self.module_prefixes = tuple(module_prefixes)
+
+    def applies_to(self, module: str) -> bool:
+        if not self.module_prefixes:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.module_prefixes
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- utilities
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.name, path=source.path, line=line, col=col, message=message
+        )
+
+
+def resolve_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted origin they were imported as.
+
+    ``import time`` maps ``time -> time``; ``from datetime import datetime``
+    maps ``datetime -> datetime.datetime``; aliases follow the ``as`` name.
+    Only top-level and function-local imports are walked — enough to resolve
+    call targets like ``time.time()`` or ``urandom()`` back to their module
+    of origin.
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                names[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never reach the stdlib sources of R1
+            for alias in node.names:
+                local = alias.asname or alias.name
+                names[local] = f"{node.module}.{alias.name}"
+    return names
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The dotted source text of a Name/Attribute chain, or ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_target(node: ast.AST, imports: Mapping[str, str]) -> Optional[str]:
+    """Fully resolved dotted name of a call target, through the import map.
+
+    ``datetime.now`` with ``from datetime import datetime`` resolves to
+    ``datetime.datetime.now``; an unimported root returns the literal
+    dotted chain (good enough for fixtures that fake module names).
+    """
+    chain = dotted_name(node)
+    if chain is None:
+        return None
+    root, _, rest = chain.partition(".")
+    origin = imports.get(root, root)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def iter_findings(
+    rules: Iterable[Rule], source: SourceFile
+) -> Iterator[Finding]:
+    """Run every applicable rule over one source file, marking suppression."""
+    for rule in rules:
+        if not rule.applies_to(source.module):
+            continue
+        for finding in rule.check(source):
+            if source.allowed(rule.name, finding.line):
+                finding = Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    suppressed=True,
+                )
+            yield finding

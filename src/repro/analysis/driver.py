@@ -1,0 +1,157 @@
+"""The per-file visitor driver and report model of ``repro lint``.
+
+:func:`lint_paths` walks files and directories, parses each ``*.py`` once,
+runs every applicable rule from :mod:`repro.analysis.rules` over the AST
+and folds the findings into a :class:`LintReport` — machine-readable via
+:meth:`LintReport.to_dict` (schema ``repro.lint/1``), human-readable via
+:meth:`LintReport.render`.  Pragma-suppressed findings are carried
+separately so audits can enumerate every exemption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .core import Finding, Rule, SourceFile, iter_findings
+from .rules import default_rules
+
+__all__ = ["LINT_SCHEMA", "LintReport", "lint_paths", "lint_source", "iter_python_files"]
+
+LINT_SCHEMA = "repro.lint/1"
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".pytest_cache"})
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not silenced by a pragma — these fail the run."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": LINT_SCHEMA,
+            "ok": self.ok,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "errors": [{"path": path, "message": message} for path, message in self.errors],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintReport":
+        findings = [Finding.from_dict(f) for f in data.get("findings", [])]
+        findings.extend(Finding.from_dict(f) for f in data.get("suppressed", []))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return cls(
+            findings=findings,
+            files=int(data.get("files", 0)),
+            errors=[(e["path"], e["message"]) for e in data.get("errors", [])],
+            rules=tuple(data.get("rules", ())),
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for path, message in self.errors:
+            lines.append(f"{path}: error: {message}")
+        for finding in self.active:
+            lines.append(finding.render())
+        summary = (
+            f"{self.files} file(s), {len(self.active)} finding(s), "
+            f"{len(self.suppressed)} suppressed by pragma"
+        )
+        if self.ok:
+            lines.append(f"OK: {summary}")
+        else:
+            lines.append(f"FAILED: {summary}, {len(self.errors)} parse error(s)")
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Every ``*.py`` file under the given files/directories, sorted."""
+    seen = set()
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(part in _SKIP_DIRS for part in candidate.parts):
+                    continue
+                if candidate not in seen:
+                    seen.add(candidate)
+                    collected.append(candidate)
+        elif path.suffix == ".py":
+            if path not in seen:
+                seen.add(path)
+                collected.append(path)
+    return iter(sorted(collected))
+
+
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint one in-memory source (the shape every rule test uses)."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    report = LintReport(rules=tuple(rule.name for rule in active_rules))
+    report.files = 1
+    try:
+        source = SourceFile.from_text(text, path=path, module=module)
+    except SyntaxError as exc:
+        report.errors.append((path, f"syntax error: {exc.msg} (line {exc.lineno})"))
+        return report
+    report.findings.extend(iter_findings(active_rules, source))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the given rule set."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    report = LintReport(rules=tuple(rule.name for rule in active_rules))
+    for file_path in iter_python_files(paths):
+        report.files += 1
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.errors.append((str(file_path), f"unreadable: {exc}"))
+            continue
+        try:
+            source = SourceFile.from_text(text, path=str(file_path))
+        except SyntaxError as exc:
+            report.errors.append(
+                (str(file_path), f"syntax error: {exc.msg} (line {exc.lineno})")
+            )
+            continue
+        report.findings.extend(iter_findings(active_rules, source))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,120 @@
+"""R4 — atomic-write discipline in the queue/cache filesystem protocol.
+
+The work-queue claim protocol and the artifact cache both depend on
+readers never observing a torn file: tasks are claimed by atomic rename,
+results and artifacts are written to a temp file and ``os.replace``-d into
+place.  A direct ``open(path, "w")`` (or ``Path.write_text``) into those
+directories re-introduces torn reads — a worker scanning ``results/``
+mid-write would consume half a JSON file.
+
+The rule flags any write-mode ``open()`` / ``.write_text()`` /
+``.write_bytes()`` call in the flow-layer modules whose enclosing function
+does not also call ``os.replace`` (the tmp-file idiom always pairs the
+two); module-level writes are always flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..core import Finding, Rule, SourceFile, resolve_imports
+
+__all__ = ["AtomicWriteRule"]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _write_mode(call: ast.Call) -> bool:
+    """Whether an ``open(...)`` call opens for writing."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(flag in mode.value for flag in ("w", "a", "x", "+"))
+    return True  # dynamic mode: assume the worst
+
+
+def _is_write_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open(..., 'w')" if _write_mode(node) else None
+    if isinstance(func, ast.Attribute):
+        if func.attr in ("write_text", "write_bytes"):
+            return f".{func.attr}(...)"
+        # os.fdopen(fd, "w") pairs with tempfile.mkstemp in the atomic
+        # idiom itself; treat it like open() so a bare fdopen-write outside
+        # an os.replace function is still caught.
+        if func.attr == "fdopen":
+            return "os.fdopen(..., 'w')" if _write_mode(node) else None
+    return None
+
+
+def _calls_os_replace(scope: ast.AST, imports: Dict[str, str]) -> bool:
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ("replace", "rename"):
+            base = func.value
+            if isinstance(base, ast.Name) and imports.get(base.id, base.id) == "os":
+                return True
+        if isinstance(func, ast.Name) and imports.get(func.id, "").startswith("os."):
+            if imports[func.id] in ("os.replace", "os.rename"):
+                return True
+    return False
+
+
+class AtomicWriteRule(Rule):
+    name = "atomic-write"
+    description = (
+        "writes in the flow layer go through the tmp-file + os.replace idiom "
+        "(no torn files in queue/cache directories)"
+    )
+    module_prefixes = ("repro.flow",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        imports = resolve_imports(source.tree)
+        yield from self._check_scope(source, source.tree, imports, top_level=True)
+
+    def _check_scope(
+        self,
+        source: SourceFile,
+        scope: ast.AST,
+        imports: Dict[str, str],
+        top_level: bool,
+    ) -> Iterator[Finding]:
+        body: List[ast.stmt] = list(getattr(scope, "body", []))
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                atomic = _calls_os_replace(stmt, imports)
+                yield from self._flag_writes(source, stmt, skip=atomic)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._check_scope(source, stmt, imports, top_level=False)
+            else:
+                # Module/class-level statements: a write here can never be
+                # part of the tmp-file idiom's control flow.
+                yield from self._flag_writes(source, stmt, skip=False)
+
+    def _flag_writes(
+        self, source: SourceFile, scope: ast.AST, skip: bool
+    ) -> Iterator[Finding]:
+        if skip:
+            return
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call):
+                description = _is_write_call(node)
+                if description is not None:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"direct {description} in the flow layer — queue/cache "
+                        f"readers can observe a torn file; write to a temp "
+                        f"file and os.replace() it into place (see "
+                        f"write_json_atomic)",
+                    )

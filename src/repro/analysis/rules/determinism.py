@@ -1,0 +1,118 @@
+"""R1 — determinism: no ambient randomness or wall-clock reads in
+digest-relevant packages.
+
+Every quantitative claim of the reproduction rests on bit-identical
+results across engines, backends and worker counts, and on
+content-addressed cache keys.  An unseeded RNG, a module-level
+``random.*`` call (shared global state), a wall-clock read or a UUID
+inside the ``flow``/``encoding``/``circuit``/``logic`` packages breaks
+both contracts silently.  Seeded ``random.Random(seed)`` instances and the
+monotonic timing clocks (``time.perf_counter``, ``time.monotonic``) are
+fine — they measure, they do not decide.
+
+Genuinely time-based code (the queue backend's lease clock, worker
+identity nonces) carries an inline ``# repro: allow-determinism`` pragma
+with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..core import Finding, Rule, SourceFile, resolve_call_target, resolve_imports
+
+__all__ = ["DeterminismRule"]
+
+#: Call targets (resolved through the file's imports) that read ambient
+#: nondeterminism.  Module-level ``random.*`` functions share one global
+#: RNG whose state any other caller can advance, so even a ``random.seed``
+#: call does not make them reproducible.
+_BANNED_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "random.seed",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.randbytes",
+    "random.getrandbits",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.betavariate",
+    "random.expovariate",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Dotted prefixes that are nondeterministic wholesale.
+_BANNED_PREFIXES: Tuple[str, ...] = ("secrets.",)
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no unseeded RNGs, module-level random.*, wall-clock reads, UUIDs or "
+        "os.urandom in digest-relevant packages"
+    )
+    module_prefixes = (
+        "repro.flow",
+        "repro.encoding",
+        "repro.circuit",
+        "repro.logic",
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        imports = resolve_imports(source.tree)
+        call_targets = {
+            id(node.func) for node in ast.walk(source.tree) if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                target = resolve_call_target(node.func, imports)
+                if target is None:
+                    continue
+                if target == "random.Random" and not node.args:
+                    yield self.finding(
+                        source,
+                        node,
+                        "unseeded random.Random() — pass an explicit seed so "
+                        "the result is reproducible and cache-addressable",
+                    )
+                    continue
+                if target in _BANNED_CALLS or target.startswith(_BANNED_PREFIXES):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"nondeterministic call {target}() in a digest-relevant "
+                        f"module — results must be bit-identical across runs "
+                        f"(seed it, inject it, or pragma a justified exception)",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                # A bare reference (stored, passed as a callback, used as a
+                # default argument) is as nondeterministic as the call it
+                # will eventually make.
+                if id(node) in call_targets:
+                    continue  # already reported as the call itself
+                target = resolve_call_target(node, imports)
+                if target is not None and (
+                    target in _BANNED_CALLS or target.startswith(_BANNED_PREFIXES)
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"reference to nondeterministic {target} in a "
+                        f"digest-relevant module — wherever this callable ends "
+                        f"up, its result will not be reproducible",
+                    )

@@ -1,0 +1,181 @@
+"""R5 — unordered-iteration hazards in digest- and merge-path modules.
+
+Content digests, deterministic merges and bit-identical parallel results
+all assume that anything contributing to an output is visited in a stable
+order.  Iterating a ``set`` does not guarantee that: Python's set order
+depends on insertion history and element hashes (and, for strings across
+interpreter runs, on hash randomization).  One ``for f in detected_set:``
+in a merge path makes the queue backend's "bit-identical at any worker
+count" claim false in a way no fixed-seed test reliably catches.
+
+The rule does light, local inference: expressions that *provably* build a
+set (literals, comprehensions, ``set()``/``frozenset()`` calls, unions and
+intersections of those, and local names assigned from them) must not be
+iterated by a ``for`` loop, a comprehension, or an order-preserving
+conversion (``list``/``tuple``/``enumerate``) unless wrapped in
+``sorted()``.  Membership tests, ``len``/``min``/``max``/``sum``/
+``any``/``all`` and ``sorted()`` itself are order-safe and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..core import Finding, Rule, SourceFile
+
+__all__ = ["UnorderedIterationRule"]
+
+#: Calls through which set order is harmless.
+_ORDER_SAFE_CALLS = frozenset({
+    "sorted", "len", "min", "max", "sum", "any", "all", "frozenset", "set",
+})
+
+#: Conversions that freeze the (arbitrary) set order into a sequence.
+_ORDER_FREEZING_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Collect iteration sites of provably-set expressions in one scope."""
+
+    def __init__(self, rule: "UnorderedIterationRule", source: SourceFile) -> None:
+        self.rule = rule
+        self.source = source
+        self.set_names: Set[str] = set()
+        self.findings: List[Finding] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scope: gets its own tracker
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # nested scope: gets its own tracker
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested scope: gets its own tracker
+
+    # ------------------------------------------------------------- inference
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    # ------------------------------------------------------------ statements
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if self.is_set_expr(node.value):
+                    self.set_names.add(target.id)
+                else:
+                    self.set_names.discard(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if self.is_set_expr(node.value):
+                self.set_names.add(node.target.id)
+            else:
+                self.set_names.discard(node.target.id)
+
+    def _flag(self, node: ast.expr, context: str) -> None:
+        described = ast.unparse(node)
+        if len(described) > 40:
+            described = described[:37] + "..."
+        self.findings.append(
+            self.rule.finding(
+                self.source,
+                node,
+                f"iteration over a set ({described}) {context} — set order is "
+                f"arbitrary and breaks deterministic digests/merges; wrap it "
+                f"in sorted()",
+            )
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.is_set_expr(node.iter):
+            self._flag(node.iter, "in a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for generator in getattr(node, "generators", []):
+            if self.is_set_expr(generator.iter):
+                # A set comprehension / set() over a set stays unordered but
+                # produces another set — only ordered collectors are hazards.
+                parent_ordered = not isinstance(node, (ast.SetComp, ast.DictComp))
+                if parent_ordered:
+                    self._flag(generator.iter, "in a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_FREEZING_CALLS
+            and node.args
+            and self.is_set_expr(node.args[0])
+        ):
+            self._flag(node.args[0], f"via {func.id}()")
+        self.generic_visit(node)
+
+
+class UnorderedIterationRule(Rule):
+    name = "unordered-iteration"
+    description = (
+        "no ordered iteration over sets in digest/merge-path modules without "
+        "sorted()"
+    )
+    module_prefixes = (
+        "repro.flow",
+        "repro.circuit.engine",
+        "repro.circuit.faults",
+        "repro.encoding.score",
+        "repro.logic",
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        # One tracker per function scope (and one for module level) so local
+        # name inference never leaks across scopes.
+        for scope in self._scopes(source.tree):
+            tracker = _SetTracker(self, source)
+            # Visit only the scope's own statements; nested functions get
+            # their own tracker from _scopes.
+            for stmt in scope.body:
+                self._visit_shallow(tracker, stmt)
+            yield from tracker.findings
+
+    def _scopes(self, tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _visit_shallow(self, tracker: _SetTracker, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate scope
+        tracker.visit(stmt)

@@ -1,0 +1,145 @@
+"""R3 — serialization round-trip: ``to_dict`` dataclasses need a covering
+``from_dict``.
+
+Sweep cells, queue payloads and cache artifacts all travel as
+``to_dict()`` dictionaries and come back through ``from_dict()``.  A
+dataclass that gains a field (or a ``to_dict`` without any ``from_dict``)
+breaks the round-trip silently: the field serializes, deserialization
+drops it, and a remote worker's result no longer equals the in-process
+one.  This generalizes the ``FlowConfig.from_dict`` unknown-key check to
+the whole codebase, at lint time:
+
+* every dataclass defining ``to_dict`` must also define ``from_dict``,
+* the ``from_dict`` body must *handle* every field: mention it as a
+  string key (``data["x"]``, ``data.get("x")``), pass it as a keyword to
+  the constructor call, or expand the whole mapping with ``**``.
+
+Fields declared with ``field(..., compare=False)`` are exempt — they are
+already excluded from equality, i.e. explicitly not part of the value
+(e.g. the live ``controller`` object carried by ``FlowResult``).
+Deliberately lossy summaries pragma the class line with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, Rule, SourceFile
+
+__all__ = ["SerializationRoundTripRule"]
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        node = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _roundtrip_fields(cls: ast.ClassDef) -> List[Tuple[str, ast.stmt]]:
+    """Annotated fields that participate in the serialized value."""
+    fields: List[Tuple[str, ast.stmt]] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.unparse(stmt.annotation) if stmt.annotation is not None else ""
+        if "ClassVar" in annotation:
+            continue
+        if stmt.value is not None and _field_compare_false(stmt.value):
+            continue
+        fields.append((name, stmt))
+    return fields
+
+
+def _field_compare_false(value: ast.expr) -> bool:
+    """``field(..., compare=False)`` — excluded from the dataclass's value."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    if name != "field":
+        return False
+    for keyword in value.keywords:
+        if (
+            keyword.arg == "compare"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False
+
+
+def _handled_keys(func: ast.FunctionDef) -> Tuple[Set[str], bool]:
+    """String keys a ``from_dict`` body handles, plus whether it ``**``-expands."""
+    keys: Set[str] = set()
+    expands = False
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                keys.add(index.value)
+        elif isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Attribute) and target.attr == "get" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    keys.add(first.value)
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    expands = True
+                else:
+                    keys.add(keyword.arg)
+    return keys, expands
+
+
+class SerializationRoundTripRule(Rule):
+    name = "serialization-roundtrip"
+    description = (
+        "every dataclass with to_dict has a from_dict whose handled keys "
+        "cover all round-trip fields"
+    )
+    module_prefixes = ()  # whole codebase
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass_decorated(node):
+                continue
+            to_dict: Optional[ast.FunctionDef] = None
+            from_dict: Optional[ast.FunctionDef] = None
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    if stmt.name == "to_dict":
+                        to_dict = stmt
+                    elif stmt.name == "from_dict":
+                        from_dict = stmt
+            if to_dict is None:
+                continue
+            if from_dict is None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"dataclass {node.name} serializes with to_dict() but has "
+                    f"no from_dict() — the round-trip contract every payload "
+                    f"relies on is one-way here",
+                )
+                continue
+            handled, expands = _handled_keys(from_dict)
+            if expands:
+                continue  # cls(**dict(data)) style: every key flows through
+            missing = [
+                name for name, _ in _roundtrip_fields(node) if name not in handled
+            ]
+            if missing:
+                yield self.finding(
+                    source,
+                    from_dict,
+                    f"{node.name}.from_dict does not handle field(s) "
+                    f"{', '.join(repr(m) for m in missing)} — a serialized "
+                    f"value would round-trip lossily",
+                )

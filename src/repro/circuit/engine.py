@@ -39,10 +39,13 @@ circuit); ``benchmarks/bench_fault_sim_engine.py`` records the speedup.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .netlist import Gate, Netlist
 from .simulate import StuckAtFault
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from .faults import FaultSimulationResult
 
 __all__ = ["CompiledFaultEngine"]
 
@@ -165,7 +168,9 @@ class CompiledFaultEngine:
         self._branch_variants: Dict[Tuple[str, str, int], Op] = {}
 
     # ------------------------------------------------------------ compilation
-    def _operand_indices(self, gate: Gate, stuck: Optional[Tuple[str, int]] = None):
+    def _operand_indices(
+        self, gate: Gate, stuck: Optional[Tuple[str, int]] = None
+    ) -> Tuple[Tuple[int, ...], List[int]]:
         """Gate operands as value-array indices, with one driver optionally
         replaced by a stuck constant (all occurrences, matching the legacy
         branch-fault semantics)."""
@@ -332,7 +337,7 @@ class CompiledFaultEngine:
         stop_when_all_detected: bool = True,
         lane_masks: Optional[Sequence[int]] = None,
         jobs: int = 1,
-    ):
+    ) -> "FaultSimulationResult":
         """Fault-simulate an input sequence; see :class:`FaultSimulator`.
 
         Returns a :class:`repro.circuit.faults.FaultSimulationResult` that is
@@ -494,7 +499,7 @@ class CompiledFaultEngine:
         return detection
 
 
-def _simulate_fault_shard(payload) -> Dict[str, int]:
+def _simulate_fault_shard(payload: Tuple[Any, ...]) -> Dict[str, int]:
     """Worker: rebuild the engine in the child process and run one shard."""
     (
         netlist,

@@ -10,7 +10,7 @@ accepted by any Verilog front end without cell libraries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..bist.synthesis import SynthesizedController
 from .netlist import Gate, Netlist, netlist_from_controller
@@ -94,7 +94,7 @@ def controller_to_verilog(controller: SynthesizedController, module_name: Option
     return netlist_to_verilog(netlist, module_name=module_name)
 
 
-def _gate_assign(gate: Gate, state_signals: set) -> Optional[str]:
+def _gate_assign(gate: Gate, state_signals: Set[str]) -> Optional[str]:
     output = _escape(gate.output)
     if gate.kind == "INPUT" or gate.output in state_signals:
         return None

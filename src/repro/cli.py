@@ -29,6 +29,9 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
   distributed ``--backend queue`` of ``sweep``/``benchmarks``,
 * ``repro cache stats|clear|gc`` — inspect, empty or size-bound an artifact
   cache directory (LRU eviction by last use),
+* ``repro lint`` — run the AST invariant linter (determinism, digest
+  completeness, serialization round-trip, atomic writes, set-iteration
+  order) over the source tree; nonzero exit on unsuppressed findings,
 * ``repro validate controller.kiss2`` — check a KISS2 description,
 * ``repro version`` / ``repro --version`` — report the package version.
 
@@ -48,7 +51,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from . import __version__
 from .circuit.verilog import controller_to_verilog
@@ -174,6 +177,19 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the report as JSON")
 
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant linter over the source tree"
+    )
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated subset of rule names to run")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the repro.lint/1 report as JSON")
+
     validate = sub.add_parser("validate", help="validate a KISS2 description")
     validate.add_argument("kiss_file", type=Path)
     validate.add_argument("--json", action="store_true", dest="as_json",
@@ -202,6 +218,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "version":
@@ -418,7 +436,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print("no cache directory: pass --cache-dir or set $REPRO_FLOW_CACHE",
               file=sys.stderr)
         return 2
-    report: dict = {"root": str(cache.root), "action": args.action}
+    report: Dict[str, Any] = {"root": str(cache.root), "action": args.action}
     if args.action == "stats":
         report["artifacts"] = len(cache)
         report["total_bytes"] = cache.total_bytes()
@@ -435,6 +453,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for key, value in report.items():
             print(f"{key}: {value}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import default_rules, lint_paths
+
+    if args.list_rules:
+        rules = default_rules()
+        if args.as_json:
+            print(json.dumps(
+                [{"name": r.name, "description": r.description,
+                  "modules": list(r.module_prefixes)} for r in rules],
+                indent=2,
+            ))
+        else:
+            for rule in rules:
+                print(f"{rule.name}: {rule.description}")
+        return 0
+    names = _split_csv(args.rules) if args.rules else None
+    try:
+        rules = default_rules(names)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    paths = [str(p) for p in args.paths] or [str(Path(__file__).parent)]
+    report = lint_paths(paths, rules=rules)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:

@@ -24,11 +24,14 @@ before committing to it, exactly as in Fig. 8/9 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..fsm.machine import FSM
 from ..logic.symbolic import SymbolicImplicant
 from .assignment import StateEncoding
+
+if TYPE_CHECKING:  # type-only: the lfsr package must not import encoding
+    from ..lfsr.lfsr import LFSR
 
 __all__ = [
     "group_face",
@@ -204,7 +207,7 @@ def _bit_of(prefixes: Mapping[str, str], state: str, column: int) -> Optional[in
 def estimate_product_terms(
     fsm: FSM,
     encoding: StateEncoding,
-    register,
+    register: Optional["LFSR"],
     structure: str = "pst",
 ) -> int:
     """Cheap estimate of the two-level product-term count of an encoding.

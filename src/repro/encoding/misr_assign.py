@@ -40,7 +40,7 @@ from __future__ import annotations
 import random
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..fsm.machine import FSM
 from ..lfsr.lfsr import LFSR
@@ -185,7 +185,7 @@ def assign_misr_states(
     )[1]
 
 
-def _assign_single_payload(payload) -> MISRAssignmentResult:
+def _assign_single_payload(payload: Tuple[Any, ...]) -> MISRAssignmentResult:
     return _assign_single(*payload)
 
 

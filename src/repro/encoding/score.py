@@ -76,7 +76,9 @@ class FSMBitmaps:
             so a conflict is a single mask test).
     """
 
-    def __init__(self, states: Sequence[str], implicants: Sequence[SymbolicImplicant]):
+    def __init__(
+        self, states: Sequence[str], implicants: Sequence[SymbolicImplicant]
+    ) -> None:
         self.states: Tuple[str, ...] = tuple(states)
         self.index: Dict[str, int] = {s: i for i, s in enumerate(self.states)}
         self.all_mask: int = (1 << len(self.states)) - 1
@@ -154,7 +156,7 @@ class BeamScorer:
         register: str = "misr",
         input_weight: int = 2,
         output_weight: int = 1,
-    ):
+    ) -> None:
         if register not in ("misr", "dff"):
             raise ValueError(f"unknown register type {register!r}")
         self.bitmaps = bitmaps
@@ -246,7 +248,7 @@ class ScoredEncoding:
         encoding: StateEncoding,
         register: Optional[LFSR],
         structure: str = "pst",
-    ):
+    ) -> None:
         self.mode = validate_structure(structure)
         if self.mode in ("pst", "sig") and register is None:
             raise ValueError("a register is required for the PST/SIG estimate")

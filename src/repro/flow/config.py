@@ -83,6 +83,14 @@ _STAGE_KEYS: Dict[str, Tuple[str, ...]] = {
     "faultsim": _FAULTSIM_KEYS,
 }
 
+#: Fields deliberately absent from every stage digest.  Only fields proven
+#: result-neutral belong here: ``jobs`` never changes any output because
+#: both the multi-start assignment and the fault-list sharding merge
+#: deterministically (CI pins this with jobs-independence parity tests).
+#: The ``digest-completeness`` lint rule cross-checks this set against the
+#: dataclass fields and the ``_STAGE_KEYS`` tuples.
+_DIGEST_EXEMPT = frozenset({"jobs"})
+
 
 @dataclass(frozen=True)
 class FlowConfig:

@@ -270,7 +270,8 @@ class Sweep:
             if outcome.get("error"):
                 raise RuntimeError(
                     f"sweep cell {task['cell']} ({task['kind']}:{task['name']}) "
-                    f"failed on worker {outcome.get('worker')}: {outcome['error']}"
+                    f"failed on worker {outcome.get('worker')}: "
+                    f"{_render_cell_error(outcome['error'])}"
                 )
             stats = outcome.get("cache_stats")
             if stats:
@@ -308,6 +309,20 @@ class Sweep:
             executor=executor_meta,
             cache_stats=cache_totals,
         )
+
+
+def _render_cell_error(error: Any) -> str:
+    """One readable line-or-block from a cell's error payload.
+
+    Workers record structured errors (``{"type", "message", "traceback"}``)
+    so fleet failures are diagnosable post-hoc; older result files may
+    still carry the bare-string form — render both.
+    """
+    if isinstance(error, Mapping):
+        headline = f"{error.get('type', 'Exception')}: {error.get('message', '')}"
+        trace = error.get("traceback")
+        return f"{headline}\n{trace}" if trace else headline
+    return str(error)
 
 
 def _sweep_worker(task: Dict[str, Any]) -> Dict[str, Any]:

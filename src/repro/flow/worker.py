@@ -22,10 +22,11 @@ import os
 import socket
 import threading
 import time
+import traceback
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from .backends.queue import (
     QueuePaths,
@@ -56,6 +57,16 @@ class WorkerStats:
             "busy_seconds": round(self.busy_seconds, 6),
             "stopped_by": self.stopped_by,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkerStats":
+        return cls(
+            worker_id=data["worker_id"],
+            cells=int(data["cells"]),
+            failures=int(data["failures"]),
+            busy_seconds=float(data["busy_seconds"]),
+            stopped_by=data["stopped_by"],
+        )
 
 
 def _heartbeat(path: Path, interval: float, done: threading.Event) -> None:
@@ -127,7 +138,13 @@ def run_worker(
         log: line sink for progress messages (``None``: silent).
     """
     paths = ensure_queue_dirs(queue_dir)
-    wid = worker_id or f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    # Identity, never content: the nonce only names this worker in logs,
+    # registrations and result metadata — results themselves are addressed
+    # by content digests.
+    wid = worker_id or (
+        f"{socket.gethostname()}-{os.getpid()}-"
+        f"{uuid.uuid4().hex[:6]}"  # repro: allow-determinism
+    )
     emit = log or (lambda line: None)
     registration = paths.workers / f"{wid}.json"
     write_json_atomic(
@@ -180,13 +197,21 @@ def run_worker(
                 outcome = run_cell(task, worker=wid)
             except Exception as exc:  # noqa: BLE001 - report, don't die
                 stats.failures += 1
+                # Structured capture: exception type, message and the full
+                # traceback travel with the cell's result file, so a fleet
+                # failure is diagnosable post-hoc from the queue directory
+                # alone — no need to find the right worker's stderr.
                 outcome = {
                     "kind": task.get("kind"),
                     "cell": cid,
                     "result": None,
                     "worker": wid,
                     "cache_stats": None,
-                    "error": f"{type(exc).__name__}: {exc}",
+                    "error": {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    },
                 }
             finally:
                 done.set()

@@ -24,7 +24,8 @@ from repro.flow import (
     run_cell,
     run_worker,
 )
-from repro.flow.backends.queue import ensure_queue_dirs, read_json
+from repro.flow.backends.queue import ensure_queue_dirs, read_json, write_json_atomic
+from repro.flow.sweep import _render_cell_error
 
 #: The quick machine set the CI queue-backend job also sweeps.
 NAMES = ["dk512", "ex4"]
@@ -237,6 +238,101 @@ class TestLeaseExpiry:
             sweep.run()
         (queue_dir / "stop").touch()
         thread.join(timeout=30)
+
+
+class TestInjectableClock:
+    def test_lease_expiry_without_sleeping(self, tmp_path):
+        """With the clock seam, lease expiry is testable by advancing a
+        fake clock — no sleeps, no backdated mtimes on a live sweep."""
+        queue_dir = tmp_path / "queue"
+        paths = ensure_queue_dirs(queue_dir)
+        fake = {"now": 1_000_000.0}
+        executor = QueueExecutor(queue_dir, lease_timeout=30.0,
+                                 clock=lambda: fake["now"])
+        cid = "00000-cell"
+        claim = paths.claims / f"{cid}.json"
+        write_json_atomic(claim, {"cell": cid, "task": {}, "lease_timeout": 30.0})
+        os.utime(claim, (fake["now"], fake["now"]))
+
+        assert executor._expire_stale_leases(paths, [cid], {}) == 0
+        fake["now"] += 29.0  # inside the lease window
+        assert executor._expire_stale_leases(paths, [cid], {}) == 0
+        fake["now"] += 2.0  # 31 s past the claim stamp: stale
+        assert executor._expire_stale_leases(paths, [cid], {}) == 1
+        assert (paths.tasks / f"{cid}.json").exists()
+        assert not claim.exists()
+
+    def test_finished_cells_are_never_requeued(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        paths = ensure_queue_dirs(queue_dir)
+        fake = {"now": 1_000_000.0}
+        executor = QueueExecutor(queue_dir, lease_timeout=1.0,
+                                 clock=lambda: fake["now"])
+        cid = "00000-cell"
+        claim = paths.claims / f"{cid}.json"
+        write_json_atomic(claim, {"cell": cid, "task": {}, "lease_timeout": 1.0})
+        os.utime(claim, (fake["now"] - 100, fake["now"] - 100))
+        assert executor._expire_stale_leases(paths, [cid], {cid: {}}) == 0
+        assert claim.exists()
+
+    def test_default_clock_is_wall_clock(self, tmp_path):
+        executor = QueueExecutor(tmp_path / "q")
+        before = time.time()
+        assert before - 1.0 <= executor._clock() <= time.time() + 1.0
+
+
+class TestStructuredWorkerErrors:
+    def test_error_payload_carries_type_message_traceback(self, tmp_path):
+        """A worker-side exception lands in the result file as a structured
+        payload — type, message and full traceback — so a fleet failure is
+        diagnosable from the queue directory alone."""
+        queue_dir = tmp_path / "queue"
+        paths = ensure_queue_dirs(queue_dir)
+        task = Sweep(["dk512"], structures=("PST",)).cells()[0]
+        task["config"]["structure"] = "BOGUS"  # breaks FlowConfig.from_dict
+        cid = "00000-cell"
+        write_json_atomic(paths.tasks / f"{cid}.json",
+                          {"cell": cid, "task": task, "lease_timeout": 5.0})
+
+        stats = run_worker(queue_dir, worker_id="w-err", once=True)
+        assert stats.cells == 1
+        assert stats.failures == 1
+
+        payload = read_json(paths.results / f"{cid}.json")
+        assert payload is not None
+        error = payload["outcome"]["error"]
+        assert error["type"] == "ValueError"
+        assert "BOGUS" in error["message"]
+        assert "Traceback (most recent call last)" in error["traceback"]
+        assert "ValueError" in error["traceback"].rstrip().splitlines()[-1]
+
+    def test_sweep_failure_surfaces_type_and_traceback(self, tmp_path):
+        """The orchestrator's RuntimeError carries the structured parts, so
+        the root cause is in the failure message, not a worker's stderr."""
+        queue_dir = tmp_path / "queue"
+        sweep = Sweep(["dk512"], structures=("PST",),
+                      backend=QueueExecutor(queue_dir, lease_timeout=20,
+                                            poll_interval=0.02, timeout=60))
+        tasks = sweep.cells()
+        tasks[0]["config"]["structure"] = "BOGUS"
+        sweep.cells = lambda: tasks  # type: ignore[method-assign]
+        thread = start_worker_thread(queue_dir, "w0")
+        with pytest.raises(RuntimeError) as excinfo:
+            sweep.run()
+        (queue_dir / "stop").touch()
+        thread.join(timeout=30)
+        message = str(excinfo.value)
+        assert "failed on worker" in message
+        assert "ValueError" in message
+        assert "Traceback" in message
+
+    def test_legacy_string_error_still_renders(self):
+        assert _render_cell_error("boom") == "boom"
+        rendered = _render_cell_error(
+            {"type": "KeyError", "message": "'x'", "traceback": "tb-lines"}
+        )
+        assert rendered == "KeyError: 'x'\ntb-lines"
+        assert _render_cell_error({"type": "OSError", "message": "gone"}) == "OSError: gone"
 
 
 class TestQueueHygiene:
