@@ -15,6 +15,7 @@ from .determinism import DeterminismRule
 from .digest import DigestCompletenessRule
 from .ordering import UnorderedIterationRule
 from .serialization import SerializationRoundTripRule
+from .swallowed import SwallowedExceptionRule
 
 __all__ = [
     "RULE_CLASSES",
@@ -24,6 +25,7 @@ __all__ = [
     "DeterminismRule",
     "DigestCompletenessRule",
     "SerializationRoundTripRule",
+    "SwallowedExceptionRule",
     "UnorderedIterationRule",
 ]
 
@@ -34,6 +36,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     SerializationRoundTripRule,
     AtomicWriteRule,
     UnorderedIterationRule,
+    SwallowedExceptionRule,
 ]
 
 

@@ -1,0 +1,82 @@
+"""R6 — no silently swallowed exceptions in the flow layer.
+
+The distributed sweep machinery leans on ``except OSError`` at every
+filesystem race (claims renamed away, results consumed concurrently,
+registrations pruned).  Most of those handlers are *correct* — the race
+is the protocol — but a handler that only ``pass``-es or ``continue``-s
+hides real failures too: the pre-chaos ``_heartbeat`` swallowed the
+vanished-claim ``OSError`` forever, so duplicated executions uploaded
+results nobody audited.
+
+The rule flags every ``except`` handler in the flow layer whose body has
+**no observable effect**: no ``raise``, no call (logging, counters,
+cleanup), no assignment (recording the error), and no returned value —
+only ``pass`` / ``continue`` / ``break`` / bare ``return`` / ``return
+None`` / constants.  Intentional swallows must carry an inline
+``# repro: allow-swallowed-exception -- <justification>`` pragma on the
+``except`` line (or the line above), which makes every exemption and its
+reasoning auditable in the lint report.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Rule, SourceFile
+
+__all__ = ["SwallowedExceptionRule"]
+
+
+def _returns_a_value(node: ast.Return) -> bool:
+    """Whether a ``return`` carries information out of the handler."""
+    if node.value is None:
+        return False
+    if isinstance(node.value, ast.Constant) and node.value.value is None:
+        return False
+    return True
+
+
+def _handler_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body observably does nothing with the error."""
+    for node in ast.walk(handler):
+        if node is handler:
+            continue
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, ast.Call):
+            return False  # logging, counters, cleanup — an effect
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                             ast.NamedExpr, ast.Delete)):
+            return False  # the error (or a flag) is recorded somewhere
+        if isinstance(node, ast.Return) and _returns_a_value(node):
+            return False  # the error becomes a value the caller sees
+        if isinstance(node, ast.Yield) or isinstance(node, ast.YieldFrom):
+            return False
+    return True
+
+
+class SwallowedExceptionRule(Rule):
+    name = "swallowed-exception"
+    description = (
+        "flow-layer except blocks must not pass/continue without logging, "
+        "re-raising, or recording a counter (pragma intentional swallows "
+        "with a justification)"
+    )
+    module_prefixes = ("repro.flow",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_is_silent(node):
+                continue
+            caught = ast.unparse(node.type) if node.type is not None else "BaseException"
+            yield self.finding(
+                source,
+                node,
+                f"except {caught} handler swallows the error with no "
+                f"observable effect (no raise/log/counter) — handle it, or "
+                f"justify the swallow with "
+                f"'# repro: allow-swallowed-exception -- <why>'",
+            )

@@ -27,11 +27,15 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
   rows plus the executor summary,
 * ``repro worker queue-dir`` — run a work-queue worker daemon servicing the
   distributed ``--backend queue`` of ``sweep``/``benchmarks``,
+* ``repro fsck queue-dir`` — audit (``--repair``: fix) the invariants of a
+  work-queue directory: leftover temp files, corrupt payloads, orphaned or
+  duplicated claims, stale worker registrations,
 * ``repro cache stats|clear|gc`` — inspect, empty or size-bound an artifact
   cache directory (LRU eviction by last use),
 * ``repro lint`` — run the AST invariant linter (determinism, digest
   completeness, serialization round-trip, atomic writes, set-iteration
-  order) over the source tree; nonzero exit on unsuppressed findings,
+  order, silently swallowed exceptions) over the source tree; nonzero
+  exit on unsuppressed findings,
 * ``repro validate controller.kiss2`` — check a KISS2 description,
 * ``repro version`` / ``repro --version`` — report the package version.
 
@@ -62,6 +66,7 @@ from .flow import (
     Sweep,
     add_flow_arguments,
     config_from_args,
+    fsck_queue,
     run_flow,
     run_worker,
 )
@@ -166,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the exit statistics as JSON")
 
+    fsck = sub.add_parser(
+        "fsck", help="audit (and optionally repair) a work-queue directory"
+    )
+    fsck.add_argument("queue_dir", type=Path,
+                      help="queue directory to audit")
+    fsck.add_argument("--repair", action="store_true",
+                      help="fix what the audit finds (delete garbage, requeue "
+                           "stale claims, prune dead worker registrations)")
+    fsck.add_argument("--lease-timeout", type=float, default=30.0,
+                      help="staleness window for claims and worker "
+                           "registrations (seconds)")
+    fsck.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the repro.fsck/1 report as JSON")
+
     cache = sub.add_parser("cache", help="inspect or manage an artifact cache")
     cache.add_argument("action", choices=("stats", "clear", "gc"),
                        help="report sizes, delete everything, or LRU-evict")
@@ -216,6 +235,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "lint":
@@ -241,6 +262,17 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--queue-timeout", type=float, default=None,
                         help="queue backend: overall deadline in seconds "
                              "(default: wait forever for workers)")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="degrade instead of aborting: cells that exhaust "
+                             "their retry budget land in failed_cells and the "
+                             "sweep result's status becomes 'partial'")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="queue backend: per-cell execution budget before "
+                             "quarantine (failures retry with exponential "
+                             "backoff)")
+    parser.add_argument("--cell-deadline", type=float, default=None,
+                        help="per-cell execution deadline in seconds, "
+                             "enforced worker-side at stage boundaries")
 
 
 def _cache_from_args(args: argparse.Namespace) -> Optional[ArtifactCache]:
@@ -265,6 +297,9 @@ def _sweep_from_args(args: argparse.Namespace, names: List[str],
         queue_dir=args.queue_dir,
         lease_timeout=args.lease_timeout,
         queue_timeout=args.queue_timeout,
+        strict=not args.allow_partial,
+        max_attempts=args.max_attempts,
+        cell_deadline=args.cell_deadline,
         random_trials=trials,
         data_dir=args.data_dir,
     )
@@ -366,6 +401,7 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
     result = sweep.run()
     if args.as_json:
         print(result.to_json())
+        _print_failed_cells(result)
         return 0
     sweep_dict = result.to_dict()
     print(format_paper_vs_measured(
@@ -378,7 +414,25 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
     print()
     print(format_table(["metric", "value"], sweep_executor_rows(sweep_dict),
                        title="Execution"))
+    _print_failed_cells(result)
     return 0
+
+
+def _print_failed_cells(result: Any) -> None:
+    """Warn (on stderr) about every failed cell of a partial sweep."""
+    if result.status == "complete":
+        return
+    print(f"\nWARNING: partial result — {len(result.failed_cells)} cell(s) "
+          f"failed", file=sys.stderr)
+    for cell in result.failed_cells:
+        last = cell["errors"][-1] if cell.get("errors") else {}
+        print(f"  {cell['cell']} ({cell['kind']}:{cell['fsm']}:"
+              f"{cell['structure']}, seed {cell['seed']}) — "
+              f"{cell.get('attempts', 1)} attempt(s): "
+              f"{last.get('type', 'Exception')}: {last.get('message', '')}",
+              file=sys.stderr)
+        if cell.get("quarantined"):
+            print(f"    quarantined at {cell['quarantined']}", file=sys.stderr)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -394,6 +448,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = sweep.run()
     if args.as_json:
         print(result.to_json())
+        _print_failed_cells(result)
         return 0
     sweep_dict = result.to_dict()
     print(format_comparison(sweep_cell_rows(sweep_dict), title="Sweep cells"))
@@ -408,6 +463,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                        title="Execution"))
     print(f"\n{len(result.results)} cells in {result.total_seconds:.2f} s "
           f"({result.uncached_seconds:.2f} s of uncached stage work)")
+    _print_failed_cells(result)
     return 0
 
 
@@ -428,6 +484,30 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     # Nonzero exit when any cell failed, so supervisors and CI scripts
     # see worker health without parsing logs.
     return 1 if stats.failures else 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    report = fsck_queue(
+        args.queue_dir,
+        repair=args.repair,
+        lease_timeout=args.lease_timeout,
+    )
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"fsck {report.root}: "
+              f"{'clean' if report.clean else f'{len(report.issues)} issue(s)'}"
+              f"{' (repaired)' if args.repair and not report.clean else ''}")
+        for area, count in sorted(report.counts.items()):
+            print(f"  {area}: {count} file(s)")
+        for issue in report.issues:
+            line = f"  [{issue.kind}] {issue.path}: {issue.detail}"
+            if issue.repair:
+                line += f" -> {issue.repair}"
+            print(line)
+        for note in report.notes:
+            print(f"  note: {note}")
+    return 0 if report.clean else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

@@ -23,13 +23,23 @@ from .backends import (
     ExecutionReport,
     LocalPoolExecutor,
     QueueExecutor,
+    RetryPolicy,
     SerialExecutor,
     SweepExecutor,
     resolve_backend,
 )
 from .cache import ArtifactCache, artifact_key, default_cache_dir
-from .cells import cell_id, rebuild_fsm, run_cell
+from .cells import (
+    CellDeadlineExceeded,
+    cell_id,
+    error_record,
+    rebuild_fsm,
+    run_cell,
+    run_cell_safe,
+)
+from .chaos import ChaosStageError, FaultPlan, FaultRule, set_active_plan
 from .config import FLOW_STAGES, FlowConfig, add_flow_arguments, config_from_args
+from .fsck import FsckIssue, FsckReport, fsck_queue
 from .pipeline import fsm_digest, resolve_fsm, run_flow
 from .results import FLOW_RESULT_SCHEMA, FlowResult, StageResult
 from .sweep import BaselineResult, Sweep, SweepResult
@@ -58,10 +68,21 @@ __all__ = [
     "SerialExecutor",
     "LocalPoolExecutor",
     "QueueExecutor",
+    "RetryPolicy",
     "resolve_backend",
+    "CellDeadlineExceeded",
     "cell_id",
+    "error_record",
     "rebuild_fsm",
     "run_cell",
+    "run_cell_safe",
+    "ChaosStageError",
+    "FaultPlan",
+    "FaultRule",
+    "set_active_plan",
+    "FsckIssue",
+    "FsckReport",
+    "fsck_queue",
     "WorkerStats",
     "run_worker",
 ]

@@ -20,7 +20,7 @@ from typing import Optional, Union
 
 from .base import ExecutionReport, SweepExecutor
 from .pool import LocalPoolExecutor
-from .queue import QueueExecutor
+from .queue import QueueExecutor, RetryPolicy
 from .serial import SerialExecutor
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "SerialExecutor",
     "LocalPoolExecutor",
     "QueueExecutor",
+    "RetryPolicy",
     "BACKEND_NAMES",
     "resolve_backend",
 ]
@@ -45,6 +46,7 @@ def resolve_backend(
     lease_timeout: float = 30.0,
     poll_interval: float = 0.05,
     timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> SweepExecutor:
     """Turn a backend spec into a :class:`SweepExecutor`.
 
@@ -69,5 +71,6 @@ def resolve_backend(
             lease_timeout=lease_timeout,
             poll_interval=poll_interval,
             timeout=timeout,
+            retry=retry,
         )
     raise ValueError(f"unknown sweep backend {spec!r} (expected one of {BACKEND_NAMES})")

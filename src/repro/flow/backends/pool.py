@@ -13,7 +13,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 from ..cache import ArtifactCache
-from ..cells import run_cell
+from ..cells import run_cell_safe
 from .base import ExecutionReport, SweepExecutor
 
 __all__ = ["LocalPoolExecutor"]
@@ -21,8 +21,9 @@ __all__ = ["LocalPoolExecutor"]
 
 def _pool_run_cell(task: Dict[str, Any]) -> Dict[str, Any]:
     """Top-level (picklable) pool entry point; tags the outcome with the
-    worker process identity."""
-    return run_cell(task, worker=f"pool-{os.getpid()}")
+    worker process identity.  Failures come back as structured error
+    outcomes instead of poisoning the whole pool map."""
+    return run_cell_safe(task, worker=f"pool-{os.getpid()}")
 
 
 class LocalPoolExecutor(SweepExecutor):

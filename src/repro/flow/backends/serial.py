@@ -12,14 +12,20 @@ from __future__ import annotations
 from typing import Any, Mapping, Optional, Sequence
 
 from ..cache import ArtifactCache
-from ..cells import run_cell
+from ..cells import run_cell_safe
 from .base import ExecutionReport, SweepExecutor
 
 __all__ = ["SerialExecutor"]
 
 
 class SerialExecutor(SweepExecutor):
-    """Run cells one after another in the current process."""
+    """Run cells one after another in the current process.
+
+    A failing cell becomes a structured error outcome (single attempt, no
+    retries — in-process there is no infrastructure to be transient), so
+    the orchestrator's strict/partial handling works identically to the
+    distributed backends.
+    """
 
     name = "serial"
     in_process = True
@@ -33,7 +39,8 @@ class SerialExecutor(SweepExecutor):
     ) -> ExecutionReport:
         by_name = dict(fsms or {})
         outcomes = [
-            run_cell(task, fsm=by_name.get(task["name"]), cache=cache, worker="local")
+            run_cell_safe(task, fsm=by_name.get(task["name"]), cache=cache,
+                          worker="local")
             for task in tasks
         ]
         return ExecutionReport(outcomes=outcomes, backend=self.name, workers=1)

@@ -27,6 +27,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
+from . import chaos
+
 __all__ = ["ArtifactCache", "artifact_key", "default_cache_dir"]
 
 #: Environment variable naming a default cache directory for CLI runs.
@@ -64,6 +66,9 @@ class ArtifactCache:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        # Corrupt artifacts encountered (and dropped) by get(); every one
+        # also counts as a miss, so hit/miss accounting is unchanged.
+        self.corrupt = 0
         # Approximate store size, maintained incrementally so bounded
         # writes do not rescan the whole store; authoritative totals come
         # from the full stat() pass inside gc().
@@ -92,8 +97,9 @@ class ArtifactCache:
             # UnicodeDecodeError is a ValueError): drop it, treat as a miss.
             try:
                 path.unlink()
-            except OSError:
+            except OSError:  # repro: allow-swallowed-exception -- a concurrent reader dropped it first; the miss below is the record
                 pass
+            self.corrupt += 1
             self.misses += 1
             return None
         if not isinstance(payload, dict):
@@ -101,14 +107,15 @@ class ArtifactCache:
             # same corrupt-artifact treatment.
             try:
                 path.unlink()
-            except OSError:
+            except OSError:  # repro: allow-swallowed-exception -- a concurrent reader dropped it first; the miss below is the record
                 pass
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
         try:
             os.utime(path)  # touch: LRU eviction spares recently served artifacts
-        except OSError:
+        except OSError:  # repro: allow-swallowed-exception -- LRU recency is advisory; a failed touch only ages the entry
             pass
         return payload
 
@@ -124,17 +131,23 @@ class ArtifactCache:
         except BaseException:
             try:
                 os.unlink(tmp_name)
-            except OSError:
+            except OSError:  # repro: allow-swallowed-exception -- best-effort tmp cleanup while re-raising the original error
                 pass
             raise
         self.writes += 1
+        plan = chaos.active_plan()
+        if plan is not None and plan.decide("corrupt-cache", key) is not None:
+            # Chaos seam: corrupt the just-written artifact.  The recovery
+            # under test is get()'s corrupt-entry-as-miss path — the next
+            # reader drops the garbage and recomputes the stage.
+            chaos.corrupt_file(path)
         if self.max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
             else:
                 try:
                     self._approx_bytes += path.stat().st_size
-                except OSError:
+                except OSError:  # repro: allow-swallowed-exception -- size delta is approximate by design; gc() re-measures
                     pass
             # Only pay the full eviction scan once the tracked total
             # crosses the bound (concurrent writers make the tracked
@@ -157,7 +170,7 @@ class ArtifactCache:
         for path in self._artifact_paths():
             try:
                 total += path.stat().st_size
-            except OSError:
+            except OSError:  # repro: allow-swallowed-exception -- entry evicted mid-scan; the total is advisory
                 pass
         return total
 
@@ -168,7 +181,7 @@ class ArtifactCache:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:
+            except OSError:  # repro: allow-swallowed-exception -- entry vanished concurrently; removal count stays honest
                 pass
         self._approx_bytes = 0
         return removed
@@ -187,7 +200,7 @@ class ArtifactCache:
         for path in self._artifact_paths():
             try:
                 stat = path.stat()
-            except OSError:
+            except OSError:  # repro: allow-swallowed-exception -- entry vanished mid-scan; it costs no bytes to evict
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
@@ -200,7 +213,7 @@ class ArtifactCache:
                     break
                 try:
                     path.unlink()
-                except OSError:
+                except OSError:  # repro: allow-swallowed-exception -- a concurrent gc evicted it; totals reconcile below
                     continue
                 total -= size
                 removed += 1
@@ -216,6 +229,7 @@ class ArtifactCache:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,19 +30,57 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..bist.structures import BISTStructure
 from ..bist.synthesis import synthesize
 from ..encoding.random_search import random_search
 from ..fsm.kiss import parse_kiss
 from ..fsm.machine import FSM
+from . import chaos
 from .cache import ArtifactCache, artifact_key
 from .config import FlowConfig
 from .pipeline import fsm_digest, run_flow
 
-__all__ = ["BaselineResult", "cell_id", "rebuild_fsm", "run_cell"]
+__all__ = [
+    "BaselineResult",
+    "CellDeadlineExceeded",
+    "cell_id",
+    "error_record",
+    "rebuild_fsm",
+    "run_cell",
+    "run_cell_safe",
+]
+
+
+class CellDeadlineExceeded(RuntimeError):
+    """A cell overran its per-cell execution deadline.
+
+    Raised *worker-side* at the next stage boundary once the elapsed
+    monotonic time exceeds the task's ``deadline_seconds``.  The message
+    is attempt-independent, so a cell that genuinely cannot finish inside
+    its deadline produces identical structured errors on retry and is
+    classified as deterministic poison (quarantined) instead of burning
+    the whole retry budget.
+    """
+
+
+def error_record(exc: BaseException) -> Dict[str, Any]:
+    """The structured error record of one failed execution.
+
+    ``type`` + ``message`` are the retry classifier's identity (two
+    consecutive identical records = deterministic failure); the traceback
+    travels along purely for post-hoc diagnosis.
+    """
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
 
 
 @dataclass(frozen=True)
@@ -124,17 +162,57 @@ def rebuild_fsm(task: Mapping[str, Any]) -> FSM:
     )
 
 
+def _stage_hook_for(
+    task: Mapping[str, Any], attempt: int
+) -> Optional[Callable[[str], None]]:
+    """The per-cell stage hook: deadline enforcement + chaos injection.
+
+    Returns ``None`` when neither a deadline nor an active chaos plan
+    applies, so the hot path of a plain run carries no per-stage closure
+    at all.  The deadline is checked at stage *boundaries* — stages are
+    the pipeline's natural preemption points, and boundary checks work
+    identically on every backend (in-process, pool, queue worker).
+    """
+    plan = chaos.active_plan()
+    deadline = task.get("deadline_seconds")
+    if plan is None and deadline is None:
+        return None
+    label = chaos.cell_label(task)
+    started = time.monotonic()
+
+    def hook(stage: str) -> None:
+        if deadline is not None and time.monotonic() - started > float(deadline):
+            raise CellDeadlineExceeded(
+                f"cell {label} exceeded its {float(deadline):.3f}s deadline "
+                f"before stage {stage!r}"
+            )
+        if plan is not None:
+            delay = plan.decide("stage-delay", label, attempt, stage=stage)
+            if delay is not None:
+                chaos.sleep_for(delay)
+            error = plan.decide("stage-error", label, attempt, stage=stage)
+            if error is not None:
+                raise chaos.ChaosStageError(
+                    f"chaos: injected failure before stage {stage!r} of {label}"
+                )
+
+    return hook
+
+
 def run_cell(
     task: Mapping[str, Any],
     fsm: Optional[FSM] = None,
     cache: Optional[ArtifactCache] = None,
     worker: Optional[str] = None,
+    attempt: int = 1,
 ) -> Dict[str, Any]:
     """Run one cell payload and return its serializable outcome.
 
     ``fsm``/``cache`` may be supplied by an in-process caller to reuse
     live objects; otherwise both are rebuilt from the payload (the shape
-    every out-of-process worker uses).
+    every out-of-process worker uses).  ``attempt`` is the execution's
+    1-based attempt number — it keys chaos injection decisions, which is
+    what makes injected transient faults transient.
     """
     if fsm is None:
         fsm = rebuild_fsm(task)
@@ -142,9 +220,13 @@ def run_cell(
         cache = ArtifactCache(task["cache_dir"])
     before = dict(cache.stats) if cache is not None else None
     config = FlowConfig.from_dict(task["config"])
+    hook = _stage_hook_for(task, attempt)
     if task["kind"] == "flow":
-        result = run_flow(fsm, config, cache=cache).to_dict()
+        result = run_flow(fsm, config, cache=cache, stage_hook=hook).to_dict()
     else:
+        if hook is not None:
+            # Baselines are a single stage; one boundary check suffices.
+            hook("baseline")
         result = _random_baseline(
             fsm, config, cache, trials=task["trials"], random_seed=task["random_seed"]
         ).to_dict()
@@ -162,6 +244,33 @@ def run_cell(
     else:
         outcome["cache_stats"] = None
     return outcome
+
+
+def run_cell_safe(
+    task: Mapping[str, Any],
+    fsm: Optional[FSM] = None,
+    cache: Optional[ArtifactCache] = None,
+    worker: Optional[str] = None,
+    attempt: int = 1,
+) -> Dict[str, Any]:
+    """:func:`run_cell`, but a failure becomes a structured error outcome.
+
+    The in-process backends (serial, pool) use this so a failing cell
+    degrades into the same ``{"error": {type, message, traceback}}``
+    outcome shape the queue workers produce — which is what lets
+    ``Sweep(strict=False)`` return a partial result on every backend.
+    """
+    try:
+        return run_cell(task, fsm=fsm, cache=cache, worker=worker, attempt=attempt)
+    except Exception as exc:  # noqa: BLE001 - degrade into a structured outcome
+        return {
+            "kind": task.get("kind"),
+            "cell": task.get("cell"),
+            "result": None,
+            "worker": worker,
+            "cache_stats": None,
+            "error": error_record(exc),
+        }
 
 
 def _random_baseline(

@@ -221,6 +221,7 @@ def run_flow(
     data_dir: Optional[Union[str, Path]] = None,
     implicants: Optional[Sequence[SymbolicImplicant]] = None,
     materialize: bool = False,
+    stage_hook: Optional[Callable[[str], None]] = None,
 ) -> FlowResult:
     """Run the staged pipeline for one machine and one configuration.
 
@@ -241,6 +242,11 @@ def run_flow(
         materialize: also attach the live :class:`SynthesizedController` to
             the result (``result.controller``), reconstructing it from cached
             payloads when every stage hit.
+        stage_hook: called with the stage name immediately before each work
+            stage (``assign``/``excite``/``minimize``/``faultsim``) runs —
+            the seam used for chaos stage-error/stage-delay injection and
+            for worker-side execution deadlines.  An exception raised by
+            the hook aborts the run exactly like a stage failure.
     """
     cfg = config or FlowConfig()
     structure = cfg.structure_enum
@@ -284,6 +290,8 @@ def run_flow(
             },
         }
 
+    if stage_hook is not None:
+        stage_hook("assign")
     payload, stage = _run_stage("assign", cache, digest, cfg, compute_assign)
     ctx.payloads["assign"] = payload
     stages.append(stage)
@@ -310,6 +318,8 @@ def run_flow(
             },
         }
 
+    if stage_hook is not None:
+        stage_hook("excite")
     payload, stage = _run_stage("excite", cache, digest, cfg, compute_excite)
     ctx.payloads["excite"] = payload
     stages.append(stage)
@@ -343,6 +353,8 @@ def run_flow(
             },
         }
 
+    if stage_hook is not None:
+        stage_hook("minimize")
     payload, stage = _run_stage("minimize", cache, digest, cfg, compute_minimize)
     ctx.payloads["minimize"] = payload
     stages.append(stage)
@@ -371,6 +383,8 @@ def run_flow(
             summary["collapsed"] = cfg.fault_collapse
             return {"metrics": summary, "data": {"coverage_curve": curve}}
 
+        if stage_hook is not None:
+            stage_hook("faultsim")
         payload, stage = _run_stage("faultsim", cache, digest, cfg, compute_faultsim)
         ctx.payloads["faultsim"] = payload
         stages.append(stage)

@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..bist.structures import BISTStructure
 from ..fsm.kiss import write_kiss
 from ..fsm.machine import FSM
-from .backends import SweepExecutor, resolve_backend
+from .backends import RetryPolicy, SweepExecutor, resolve_backend
 from .cache import ArtifactCache
 from .cells import BaselineResult, cell_id, run_cell
 from .config import FlowConfig
@@ -41,7 +41,7 @@ from .results import FlowResult, jsonable
 
 __all__ = ["Sweep", "SweepResult", "BaselineResult"]
 
-SWEEP_RESULT_SCHEMA = "repro.flow-sweep/2"
+SWEEP_RESULT_SCHEMA = "repro.flow-sweep/3"
 
 #: Default structure grid of the Table 3 experiment.
 DEFAULT_STRUCTURES: Tuple[str, ...] = ("PST", "DFF", "PAT")
@@ -56,6 +56,13 @@ class SweepResult:
     aggregated artifact-cache activity of every cell — including cells
     that ran in pool workers or on remote queue workers, whose cache
     counters used to be silently dropped.
+
+    Since schema ``repro.flow-sweep/3`` a sweep may *degrade* instead of
+    aborting: with ``Sweep(strict=False)`` cells that exhausted their
+    retry budget are reported in ``failed_cells`` (cell identity plus the
+    full per-attempt structured error history) and ``status`` becomes
+    ``"partial"``; a fully successful sweep has ``status == "complete"``
+    and an empty ``failed_cells`` on every backend.
     """
 
     machines: Tuple[str, ...]
@@ -67,6 +74,8 @@ class SweepResult:
     total_seconds: float = 0.0
     executor: Mapping[str, Any] = field(default_factory=dict)
     cache_stats: Mapping[str, int] = field(default_factory=dict)
+    status: str = "complete"
+    failed_cells: Tuple[Mapping[str, Any], ...] = ()
     schema: str = SWEEP_RESULT_SCHEMA
 
     def result_for(
@@ -108,6 +117,8 @@ class SweepResult:
             "total_seconds": round(self.total_seconds, 6),
             "executor": jsonable(dict(self.executor)),
             "cache_stats": dict(self.cache_stats),
+            "status": self.status,
+            "failed_cells": [dict(cell) for cell in self.failed_cells],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -128,6 +139,10 @@ class SweepResult:
             total_seconds=float(data.get("total_seconds", 0.0)),
             executor=dict(data.get("executor", {})),
             cache_stats=dict(data.get("cache_stats", {})),
+            # Schema /2 payloads predate degradation: every recorded sweep
+            # back then either completed or raised, so "complete" is right.
+            status=str(data.get("status", "complete")),
+            failed_cells=tuple(dict(c) for c in data.get("failed_cells", ())),
             schema=data.get("schema", SWEEP_RESULT_SCHEMA),
         )
 
@@ -153,6 +168,20 @@ class Sweep:
         lease_timeout: queue-lease expiry in seconds (queue backend only).
         queue_timeout: overall queue deadline in seconds; ``None`` waits
             forever for workers (queue backend only).
+        strict: with ``True`` (the default) any failed cell raises
+            :class:`RuntimeError` — today's all-or-nothing contract.
+            With ``False`` the sweep *degrades*: failed cells land in
+            ``SweepResult.failed_cells`` with their per-attempt error
+            history and the result's ``status`` becomes ``"partial"``.
+        max_attempts: per-cell execution budget of the queue backend's
+            retry policy (failures retry with exponential backoff until
+            classified deterministic or the budget is spent; the poison
+            cell is then quarantined under ``<queue-dir>/failed/``).
+        retry_backoff: base backoff delay in seconds between retries
+            (doubles per attempt, queue backend only).
+        cell_deadline: per-cell execution deadline in seconds, enforced
+            worker-side at stage boundaries on every backend (``None``:
+            no deadline).
         random_trials: with a value, additionally run the Table 2
             random-encoding baseline (``random_trials`` random PST
             assignments per machine, seeded with ``random_seed``).
@@ -171,6 +200,10 @@ class Sweep:
         queue_dir: Optional[Union[str, Path]] = None,
         lease_timeout: float = 30.0,
         queue_timeout: Optional[float] = None,
+        strict: bool = True,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.25,
+        cell_deadline: Optional[float] = None,
         random_trials: Optional[int] = None,
         random_seed: int = 1991,
         data_dir: Optional[Union[str, Path]] = None,
@@ -194,12 +227,15 @@ class Sweep:
             cache = ArtifactCache(cache)
         self.cache: Optional[ArtifactCache] = cache
         self.jobs = max(1, int(jobs))
+        self.strict = bool(strict)
+        self.cell_deadline = cell_deadline
         self.executor: SweepExecutor = resolve_backend(
             backend,
             jobs=self.jobs,
             queue_dir=queue_dir,
             lease_timeout=lease_timeout,
             timeout=queue_timeout,
+            retry=RetryPolicy(max_attempts=max_attempts, backoff_base=retry_backoff),
         )
         self.random_trials = random_trials
         self.random_seed = random_seed
@@ -225,7 +261,7 @@ class Sweep:
                 baseline_config = self.config.replace(
                     structure="PST", seed=self.seeds[0], jobs=worker_jobs
                 )
-                tasks.append({
+                baseline_task: Dict[str, Any] = {
                     "kind": "baseline",
                     "name": fsm.name,
                     "kiss": kiss,
@@ -234,20 +270,26 @@ class Sweep:
                     "cache_dir": cache_dir,
                     "trials": self.random_trials,
                     "random_seed": self.random_seed,
-                })
+                }
+                if self.cell_deadline is not None:
+                    baseline_task["deadline_seconds"] = float(self.cell_deadline)
+                tasks.append(baseline_task)
             for seed in self.seeds:
                 for structure in self.structures:
                     cell_config = self.config.replace(
                         structure=structure, seed=seed, jobs=worker_jobs
                     )
-                    tasks.append({
+                    flow_task: Dict[str, Any] = {
                         "kind": "flow",
                         "name": fsm.name,
                         "kiss": kiss,
                         "states": states,
                         "config": cell_config.to_dict(),
                         "cache_dir": cache_dir,
-                    })
+                    }
+                    if self.cell_deadline is not None:
+                        flow_task["deadline_seconds"] = float(self.cell_deadline)
+                    tasks.append(flow_task)
         for index, task in enumerate(tasks):
             task["cell"] = cell_id(index, task)
         return tasks
@@ -266,13 +308,33 @@ class Sweep:
         baselines: Dict[str, BaselineResult] = {}
         cell_meta: List[Dict[str, Any]] = []
         cache_totals: Dict[str, int] = {}
+        failed_cells: List[Dict[str, Any]] = []
         for task, outcome in zip(tasks, report.outcomes):
             if outcome.get("error"):
-                raise RuntimeError(
-                    f"sweep cell {task['cell']} ({task['kind']}:{task['name']}) "
-                    f"failed on worker {outcome.get('worker')}: "
-                    f"{_render_cell_error(outcome['error'])}"
-                )
+                if self.strict:
+                    raise RuntimeError(
+                        f"sweep cell {task['cell']} ({task['kind']}:{task['name']}) "
+                        f"failed on worker {outcome.get('worker')} "
+                        f"after {int(outcome.get('attempts', 1))} attempt(s): "
+                        f"{_render_cell_error(outcome['error'])}"
+                    )
+                # Graceful degradation: the cell's identity plus its full
+                # per-attempt structured error history travel in the result.
+                history = outcome.get("error_attempts") or [
+                    dict(outcome["error"], attempt=1)
+                ]
+                failed_cells.append({
+                    "cell": task["cell"],
+                    "kind": task["kind"],
+                    "fsm": task["name"],
+                    "structure": task["config"]["structure"],
+                    "seed": task["config"]["seed"],
+                    "worker": outcome.get("worker"),
+                    "attempts": int(outcome.get("attempts", 1)),
+                    "errors": [dict(record) for record in history],
+                    "quarantined": outcome.get("quarantined"),
+                })
+                continue
             stats = outcome.get("cache_stats")
             if stats:
                 for key, value in stats.items():
@@ -308,6 +370,8 @@ class Sweep:
             total_seconds=time.perf_counter() - start,
             executor=executor_meta,
             cache_stats=cache_totals,
+            status="partial" if failed_cells else "complete",
+            failed_cells=tuple(failed_cells),
         )
 
 

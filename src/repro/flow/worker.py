@@ -11,6 +11,13 @@ sharing the queue directory — cooperate safely: the rename claim hands
 each cell to exactly one live worker, and a worker killed mid-cell simply
 stops heartbeating, so the orchestrator requeues its lease.
 
+Duplicate executions (a lease expired while the cell was still running)
+are detected, not just tolerated: the heartbeat thread flags a vanished
+claim, the worker re-checks claim ownership before uploading, and a lost
+lease makes the worker *abandon* the upload — the re-executed copy is the
+authoritative one.  Abandonment is bookkeeping, not correctness: even a
+racing duplicate upload would be bit-identical by construction.
+
 Workers exit when the queue's ``stop`` sentinel file appears, after
 ``max_idle`` seconds without work, or — with ``once=True`` — as soon as a
 scan finds the queue drained.
@@ -28,10 +35,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
+from . import chaos
 from .backends.queue import (
     QueuePaths,
     ensure_queue_dirs,
     read_json,
+    sign_payload,
+    verify_payload,
     write_json_atomic,
 )
 from .cells import run_cell
@@ -48,6 +58,12 @@ class WorkerStats:
     failures: int = 0
     busy_seconds: float = 0.0
     stopped_by: str = "idle"
+    #: Heartbeats that found the claim file gone (lease lost mid-cell).
+    heartbeats_lost: int = 0
+    #: Executions whose result upload was abandoned after a lost lease.
+    abandoned: int = 0
+    #: Claims dropped because their task payload was corrupt.
+    corrupt_tasks: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -56,6 +72,9 @@ class WorkerStats:
             "failures": self.failures,
             "busy_seconds": round(self.busy_seconds, 6),
             "stopped_by": self.stopped_by,
+            "heartbeats_lost": self.heartbeats_lost,
+            "abandoned": self.abandoned,
+            "corrupt_tasks": self.corrupt_tasks,
         }
 
     @classmethod
@@ -66,46 +85,79 @@ class WorkerStats:
             failures=int(data["failures"]),
             busy_seconds=float(data["busy_seconds"]),
             stopped_by=data["stopped_by"],
+            # Pre-chaos worker payloads lack the loss counters.
+            heartbeats_lost=int(data.get("heartbeats_lost", 0)),
+            abandoned=int(data.get("abandoned", 0)),
+            corrupt_tasks=int(data.get("corrupt_tasks", 0)),
         )
 
 
-def _heartbeat(path: Path, interval: float, done: threading.Event) -> None:
-    """Touch the claim file until the cell finishes (lease keep-alive)."""
+def _heartbeat(
+    path: Path,
+    interval: float,
+    done: threading.Event,
+    lost: threading.Event,
+    stall_seconds: float = 0.0,
+) -> None:
+    """Touch the claim file until the cell finishes (lease keep-alive).
+
+    A vanished claim means the orchestrator expired our lease and
+    requeued the cell; the thread sets ``lost`` so the worker abandons
+    the (now duplicated) execution's upload instead of silently racing
+    the re-execution.  ``stall_seconds`` suppresses the first heartbeats
+    — the chaos harness's injected GC-pause/network-partition stand-in.
+    """
+    stalled_until = time.monotonic() + stall_seconds
     while not done.wait(interval):
+        if time.monotonic() < stalled_until:
+            continue
         try:
             os.utime(path)
         except OSError:
-            # The orchestrator requeued our lease out from under us; the
-            # run continues — duplicate execution is idempotent.
+            lost.set()
             return
 
 
-def _claim_next(paths: QueuePaths) -> Optional[Tuple[str, Path, Dict[str, Any]]]:
-    """Claim the oldest pending task, or ``None`` when the queue is idle."""
+def _claim_next(
+    paths: QueuePaths, wid: str, stats: "WorkerStats"
+) -> Optional[Tuple[str, Path, Dict[str, Any]]]:
+    """Claim the oldest pending task, or ``None`` when the queue is idle.
+
+    A claim whose payload is corrupt (torn write, chaos injection,
+    integrity-digest mismatch) is dropped and counted — the orchestrator
+    still holds the cell payload in memory and resubmits it on its next
+    lost-cell scan.  A winning claim is re-stamped with this worker's
+    identity (``claimed_by``) so the upload path can verify ownership
+    after a lease loss.
+    """
     try:
         pending = sorted(p for p in paths.tasks.iterdir() if p.suffix == ".json")
-    except OSError:
+    except OSError:  # repro: allow-swallowed-exception -- tasks/ pruned or unreadable reads as an idle queue; the poll loop retries
         return None
     for task_path in pending:
         claim_path = paths.claims / task_path.name
         try:
             os.replace(task_path, claim_path)
-        except OSError:
-            continue  # another worker won the rename
+        except OSError:  # repro: allow-swallowed-exception -- another worker won the rename; losing the race is the protocol
+            continue
         try:
             # Rename preserves the submit-time mtime; stamp the claim with
             # *now* so the lease clock starts at claim time.
             os.utime(claim_path)
-        except OSError:
-            continue  # requeued out from under us in the stamp window
+        except OSError:  # repro: allow-swallowed-exception -- requeued out from under us in the stamp window; the next task is ours
+            continue
         payload = read_json(claim_path)
-        if payload is None or "task" not in payload:
+        if payload is None or "task" not in payload or not verify_payload(payload):
+            stats.corrupt_tasks += 1
             try:
-                claim_path.unlink()  # corrupt task file: drop it
-            except OSError:
+                claim_path.unlink()  # corrupt task payload: drop it
+            except OSError:  # repro: allow-swallowed-exception -- already requeued; either way the claim is gone, which is the goal
                 pass
             continue
-        return payload.get("cell", task_path.stem), claim_path, payload
+        body = {key: value for key, value in payload.items() if key != "sha256"}
+        body["claimed_by"] = wid
+        write_json_atomic(claim_path, sign_payload(body))
+        return str(payload.get("cell", task_path.stem)), claim_path, body
     return None
 
 
@@ -159,7 +211,7 @@ def run_worker(
             if paths.stop.exists():
                 stats.stopped_by = "stop-file"
                 break
-            claimed = _claim_next(paths)
+            claimed = _claim_next(paths, wid, stats)
             if claimed is None:
                 if once:
                     stats.stopped_by = "drained"
@@ -169,7 +221,7 @@ def run_worker(
                     break
                 try:
                     os.utime(registration)  # liveness heartbeat
-                except OSError:
+                except OSError:  # repro: allow-swallowed-exception -- registration pruned externally; the next loop rewrites nothing vital
                     pass
                 time.sleep(poll_interval)
                 continue
@@ -178,6 +230,7 @@ def run_worker(
             idle_since = time.monotonic()
             started = time.perf_counter()
             task = dict(payload["task"])
+            attempt = int(payload.get("attempt", 1))
             if cache_dir is not None:
                 task["cache_dir"] = str(cache_dir)
             # The orchestrator ships its lease window with each task; honor
@@ -186,15 +239,31 @@ def run_worker(
             effective_lease = min(
                 lease_timeout, float(payload.get("lease_timeout", lease_timeout))
             )
+
+            label = chaos.cell_label(task)
+            plan = chaos.active_plan()
+            stall_seconds = 0.0
+            if plan is not None:
+                if plan.decide("worker-crash", label, attempt) is not None:
+                    emit(f"[{wid}] {cid} chaos: crashing mid-cell (attempt {attempt})")
+                    os._exit(17)  # kill -9 semantics: no cleanup, no unwind
+                stall = plan.decide("heartbeat-stall", label, attempt)
+                if stall is not None:
+                    stall_seconds = stall.seconds or effective_lease * 2.0
+                    emit(f"[{wid}] {cid} chaos: stalling heartbeats "
+                         f"{stall_seconds:.2f}s (attempt {attempt})")
+
             done = threading.Event()
+            lost = threading.Event()
             beat = threading.Thread(
                 target=_heartbeat,
-                args=(claim_path, max(effective_lease / 4.0, 0.05), done),
+                args=(claim_path, max(effective_lease / 4.0, 0.05), done, lost,
+                      stall_seconds),
                 daemon=True,
             )
             beat.start()
             try:
-                outcome = run_cell(task, worker=wid)
+                outcome = run_cell(task, worker=wid, attempt=attempt)
             except Exception as exc:  # noqa: BLE001 - report, don't die
                 stats.failures += 1
                 # Structured capture: exception type, message and the full
@@ -216,11 +285,30 @@ def run_worker(
             finally:
                 done.set()
                 beat.join()
-            write_json_atomic(paths.results / f"{cid}.json", {"cell": cid, "outcome": outcome})
+
+            if lost.is_set():
+                stats.heartbeats_lost += 1
+            # Ownership check before upload: if our lease was expired the
+            # cell was requeued (and possibly reclaimed), so this
+            # execution is the stale duplicate — abandon its result.
+            owner = read_json(claim_path)
+            if lost.is_set() or owner is None or owner.get("claimed_by") != wid:
+                stats.abandoned += 1
+                emit(f"[{wid}] {cid} lease lost mid-cell; abandoning result "
+                     f"(attempt {attempt})")
+                continue
+
+            write_json_atomic(
+                paths.results / f"{cid}.json",
+                sign_payload({"cell": cid, "outcome": outcome}),
+            )
+            if plan is not None and plan.decide("corrupt-result", label, attempt):
+                chaos.corrupt_file(paths.results / f"{cid}.json")
+                emit(f"[{wid}] {cid} chaos: corrupted result (attempt {attempt})")
             try:
                 claim_path.unlink()
-            except OSError:
-                pass  # requeued and re-claimed elsewhere; results are idempotent
+            except OSError:  # repro: allow-swallowed-exception -- requeued and re-claimed elsewhere; results are idempotent
+                pass
             stats.cells += 1
             elapsed = time.perf_counter() - started
             stats.busy_seconds += elapsed
@@ -228,7 +316,7 @@ def run_worker(
     finally:
         try:
             registration.unlink()
-        except OSError:
+        except OSError:  # repro: allow-swallowed-exception -- registration already pruned; exit must not mask the real outcome
             pass
     emit(f"[{wid}] exiting ({stats.stopped_by}): {stats.cells} cell(s), "
          f"{stats.failures} failure(s), {stats.busy_seconds:.2f}s busy")

@@ -213,6 +213,20 @@ def sweep_executor_rows(sweep: Mapping[str, Any]) -> List[List[object]]:
         ["workers", executor.get("workers", 1)],
         ["cells requeued", executor.get("cells_requeued", 0)],
     ]
+    status = sweep.get("status", "complete")
+    if status != "complete" or sweep.get("failed_cells"):
+        failed = sweep.get("failed_cells", [])
+        rows.append(["status", status])
+        rows.append(["failed cells", ", ".join(
+            f"{cell.get('kind')}:{cell.get('fsm')}:{cell.get('structure')}"
+            f" (x{cell.get('attempts', 1)})"
+            for cell in failed
+        ) or "0"])
+    for counter in ("retries", "corrupt_results", "cells_lost"):
+        if executor.get(counter):
+            rows.append([counter.replace("_", " "), executor[counter]])
+    if executor.get("quarantined"):
+        rows.append(["quarantined", ", ".join(executor["quarantined"])])
     per_worker: Dict[str, int] = {}
     for cell in executor.get("cells", []):
         worker = cell.get("worker")
@@ -229,6 +243,8 @@ def sweep_executor_rows(sweep: Mapping[str, Any]) -> List[List[object]]:
                      f" / {cache_stats.get('writes', 0)}"])
         if cache_stats.get("evictions"):
             rows.append(["cache evictions", cache_stats["evictions"]])
+        if cache_stats.get("corrupt"):
+            rows.append(["corrupt cache entries dropped", cache_stats["corrupt"]])
     return rows
 
 

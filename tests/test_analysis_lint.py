@@ -95,6 +95,7 @@ class TestFramework:
             "serialization-roundtrip",
             "atomic-write",
             "unordered-iteration",
+            "swallowed-exception",
         }
 
 
@@ -433,6 +434,99 @@ class TestUnorderedIterationRule:
 
 
 # --------------------------------------------------------- whole-tree gate
+
+
+class TestSwallowedExceptionRule:
+    def test_bare_pass_flagged(self):
+        text = (
+            "def release(path):\n"
+            "    try:\n"
+            "        path.unlink()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        found = findings_for(text, "swallowed-exception")
+        assert found and "except OSError" in found[0].message
+        assert found[0].line == 4  # anchored at the except line
+
+    def test_continue_and_bare_return_flagged(self):
+        loop = (
+            "def drain(paths):\n"
+            "    for path in paths:\n"
+            "        try:\n"
+            "            path.unlink()\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        bare_return = (
+            "def touch(path):\n"
+            "    try:\n"
+            "        path.touch()\n"
+            "    except OSError:\n"
+            "        return\n"
+        )
+        return_none = (
+            "def touch(path):\n"
+            "    try:\n"
+            "        path.touch()\n"
+            "    except OSError:\n"
+            "        return None\n"
+        )
+        for text in (loop, bare_return, return_none):
+            assert findings_for(text, "swallowed-exception")
+
+    def test_observable_effects_pass(self):
+        reraise = (
+            "def load(path):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except OSError as exc:\n"
+            "        raise RuntimeError(path) from exc\n"
+        )
+        counter = (
+            "def load(path, stats):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except OSError:\n"
+            "        stats.failures += 1\n"
+        )
+        logging_call = (
+            "def load(path, log):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except OSError:\n"
+            "        log('gone')\n"
+        )
+        returns_value = (
+            "def load(path):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except OSError:\n"
+            "        return ''\n"
+        )
+        for text in (reraise, counter, logging_call, returns_value):
+            assert not findings_for(text, "swallowed-exception")
+
+    def test_pragma_suppressed(self):
+        text = (
+            "def release(path):\n"
+            "    try:\n"
+            "        path.unlink()\n"
+            "    except OSError:  # repro: allow-swallowed-exception -- race is the protocol\n"
+            "        pass\n"
+        )
+        assert not findings_for(text, "swallowed-exception")
+
+    def test_out_of_scope_module_ignored(self):
+        text = (
+            "def release(path):\n"
+            "    try:\n"
+            "        path.unlink()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        assert not findings_for(text, "swallowed-exception",
+                                module=OUTSIDE_MODULE)
 
 
 class TestTreeGate:

@@ -453,7 +453,7 @@ class TestCliJson:
         exit_code = main(["benchmarks", "--names", "dk512", "--trials", "1", "--json"])
         assert exit_code == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["schema"] == "repro.flow-sweep/2"
+        assert data["schema"] == "repro.flow-sweep/3"
         assert data["machines"] == ["dk512"]
         pst = [r for r in data["results"] if r["structure"] == "PST"][0]
         assert pst["metrics"]["product_terms"] == self.GOLDEN["dk512"]["product_terms"]

@@ -24,7 +24,12 @@ from repro.flow import (
     run_cell,
     run_worker,
 )
-from repro.flow.backends.queue import ensure_queue_dirs, read_json, write_json_atomic
+from repro.flow.backends.queue import (
+    _CellState,
+    ensure_queue_dirs,
+    read_json,
+    write_json_atomic,
+)
 from repro.flow.sweep import _render_cell_error
 
 #: The quick machine set the CI queue-backend job also sweeps.
@@ -254,13 +259,15 @@ class TestInjectableClock:
         write_json_atomic(claim, {"cell": cid, "task": {}, "lease_timeout": 30.0})
         os.utime(claim, (fake["now"], fake["now"]))
 
-        assert executor._expire_stale_leases(paths, [cid], {}) == 0
+        states = {cid: _CellState(task={"cell": cid})}
+        assert executor._expire_stale_leases(paths, [cid], states) == 0
         fake["now"] += 29.0  # inside the lease window
-        assert executor._expire_stale_leases(paths, [cid], {}) == 0
+        assert executor._expire_stale_leases(paths, [cid], states) == 0
         fake["now"] += 2.0  # 31 s past the claim stamp: stale
-        assert executor._expire_stale_leases(paths, [cid], {}) == 1
+        assert executor._expire_stale_leases(paths, [cid], states) == 1
         assert (paths.tasks / f"{cid}.json").exists()
         assert not claim.exists()
+        assert states[cid].attempt == 2  # the requeue consumed an attempt
 
     def test_finished_cells_are_never_requeued(self, tmp_path):
         queue_dir = tmp_path / "queue"
@@ -272,7 +279,9 @@ class TestInjectableClock:
         claim = paths.claims / f"{cid}.json"
         write_json_atomic(claim, {"cell": cid, "task": {}, "lease_timeout": 1.0})
         os.utime(claim, (fake["now"] - 100, fake["now"] - 100))
-        assert executor._expire_stale_leases(paths, [cid], {cid: {}}) == 0
+        done = _CellState(task={"cell": cid})
+        done.done = True
+        assert executor._expire_stale_leases(paths, [cid], {cid: done}) == 0
         assert claim.exists()
 
     def test_default_clock_is_wall_clock(self, tmp_path):
@@ -630,7 +639,7 @@ class TestSweepCli:
                           "PST,DFF", "--seeds", "0,1", "--json"])
         assert exit_code == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["schema"] == "repro.flow-sweep/2"
+        assert data["schema"] == "repro.flow-sweep/3"
         assert data["seeds"] == [0, 1]
         assert len(data["results"]) == 4
         assert data["executor"]["backend"] == "serial"
