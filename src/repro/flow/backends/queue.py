@@ -270,8 +270,14 @@ class QueueExecutor(SweepExecutor):
     #: Runaway guard: a cell is force-quarantined after this many total
     #: submissions (including infra requeues that never produce an error
     #: record), whatever the retry policy says.  Keeps an adversarial
-    #: corrupt-every-attempt fault from looping a sweep forever.
+    #: corrupt-every-attempt fault from looping a sweep forever.  Every
+    #: resubmission path funnels through :meth:`_resubmit`, where the cap
+    #: is enforced.
     _ATTEMPT_HARD_CAP_FACTOR = 4
+
+    @property
+    def _hard_cap(self) -> int:
+        return self.retry.max_attempts * self._ATTEMPT_HARD_CAP_FACTOR
 
     def __init__(
         self,
@@ -320,7 +326,6 @@ class QueueExecutor(SweepExecutor):
         counters = {"requeues": 0, "retries": 0, "corrupt_results": 0,
                     "cells_lost": 0}
         workers_seen: Set[str] = set()
-        hard_cap = self.retry.max_attempts * self._ATTEMPT_HARD_CAP_FACTOR
         start = time.monotonic()
         while True:
             progressed = False
@@ -345,9 +350,10 @@ class QueueExecutor(SweepExecutor):
                     pass
             if all(states[cid].done or states[cid].failed for cid in ids):
                 break
-            counters["requeues"] += self._expire_stale_leases(paths, ids, states)
-            self._recover_lost_cells(paths, ids, states, counters)
-            self._serve_backoffs(paths, ids, states, hard_cap)
+            counters["requeues"] += self._expire_stale_leases(paths, ids, states,
+                                                              outcomes)
+            self._recover_lost_cells(paths, ids, states, outcomes, counters)
+            self._serve_backoffs(paths, ids, states, outcomes)
             if self.timeout is not None and time.monotonic() - start > self.timeout:
                 pending = [cid for cid in ids
                            if not (states[cid].done or states[cid].failed)]
@@ -457,8 +463,9 @@ class QueueExecutor(SweepExecutor):
                              reason="deterministic" if deterministic else "exhausted")
         else:
             counters["retries"] += 1
+            # The attempt counter is bumped by _resubmit when the backoff
+            # is served, so it always names the execution in flight.
             state.resubmit_at = self._clock() + self.retry.delay_for(state.attempt)
-            state.attempt += 1
         return True
 
     def _drop_corrupt_result(
@@ -468,15 +475,21 @@ class QueueExecutor(SweepExecutor):
         state: _CellState,
         counters: Dict[str, int],
     ) -> None:
-        """Corrupt result payload: drop it and resubmit — never crash."""
+        """Corrupt result payload: drop it and retry with backoff — never crash.
+
+        The resubmission rides the backoff machinery rather than firing
+        immediately: persistent corruption (bad disk, broken worker)
+        would otherwise hot-loop submit/corrupt/resubmit at the poll
+        interval, and backoff cells are the ones :meth:`_resubmit`
+        checks against the runaway hard cap.
+        """
         counters["corrupt_results"] += 1
         for stale in (paths.results / f"{cid}.json", paths.claims / f"{cid}.json"):
             try:
                 stale.unlink()
-            except OSError:  # repro: allow-swallowed-exception -- already gone; the resubmit below is the recovery
+            except OSError:  # repro: allow-swallowed-exception -- already gone; the backoff resubmit below is the recovery
                 pass
-        state.attempt += 1
-        self._submit(paths, cid, state)
+        state.resubmit_at = self._clock() + self.retry.delay_for(state.attempt)
 
     # ------------------------------------------------------------ quarantine
     def _quarantine(
@@ -524,11 +537,34 @@ class QueueExecutor(SweepExecutor):
         }
 
     # --------------------------------------------------------------- requeue
+    def _resubmit(
+        self,
+        paths: QueuePaths,
+        cid: str,
+        state: _CellState,
+        outcomes: Dict[str, Dict[str, Any]],
+    ) -> bool:
+        """Bump the attempt and resubmit — or quarantine past the hard cap.
+
+        Every resubmission path (stale lease, lost cell, served retry or
+        corrupt-result backoff) funnels through here, so the runaway
+        guard also covers infra requeues that never produce an error
+        record — e.g. a task payload corrupted on every attempt.  Returns
+        whether the cell was actually resubmitted.
+        """
+        state.attempt += 1
+        if state.attempt > self._hard_cap:
+            self._quarantine(paths, cid, state, outcomes, reason="runaway")
+            return False
+        self._submit(paths, cid, state)
+        return True
+
     def _expire_stale_leases(
         self,
         paths: QueuePaths,
         ids: Sequence[str],
         states: Mapping[str, _CellState],
+        outcomes: Dict[str, Dict[str, Any]],
     ) -> int:
         """Resubmit claims whose heartbeat went stale (dead worker)."""
         requeued = 0
@@ -548,9 +584,8 @@ class QueueExecutor(SweepExecutor):
                 claim.unlink()
             except OSError:  # repro: allow-swallowed-exception -- claim finished/requeued concurrently; the next scan sees the result
                 continue
-            state.attempt += 1
-            self._submit(paths, cid, state)
-            requeued += 1
+            if self._resubmit(paths, cid, state, outcomes):
+                requeued += 1
         return requeued
 
     def _recover_lost_cells(
@@ -558,6 +593,7 @@ class QueueExecutor(SweepExecutor):
         paths: QueuePaths,
         ids: Sequence[str],
         states: Mapping[str, _CellState],
+        outcomes: Dict[str, Dict[str, Any]],
         counters: Dict[str, int],
     ) -> None:
         """Resubmit cells that vanished from the queue entirely.
@@ -581,15 +617,14 @@ class QueueExecutor(SweepExecutor):
             if (paths.results / f"{cid}.json").exists():
                 continue
             counters["cells_lost"] += 1
-            state.attempt += 1
-            self._submit(paths, cid, state)
+            self._resubmit(paths, cid, state, outcomes)
 
     def _serve_backoffs(
         self,
         paths: QueuePaths,
         ids: Sequence[str],
         states: Mapping[str, _CellState],
-        hard_cap: int,
+        outcomes: Dict[str, Dict[str, Any]],
     ) -> None:
         """Resubmit retry-pending cells whose backoff delay elapsed."""
         now = self._clock()
@@ -597,12 +632,8 @@ class QueueExecutor(SweepExecutor):
             state = states[cid]
             if state.done or state.failed or state.resubmit_at is None:
                 continue
-            if state.attempt > hard_cap:
-                # Runaway guard — quarantine with whatever history exists.
-                self._quarantine(paths, cid, state, {}, reason="runaway")
-                continue
             if now >= state.resubmit_at:
-                self._submit(paths, cid, state)
+                self._resubmit(paths, cid, state, outcomes)
 
     # -------------------------------------------------------------- shutdown
     def _timeout_message(

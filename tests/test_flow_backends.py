@@ -260,11 +260,11 @@ class TestInjectableClock:
         os.utime(claim, (fake["now"], fake["now"]))
 
         states = {cid: _CellState(task={"cell": cid})}
-        assert executor._expire_stale_leases(paths, [cid], states) == 0
+        assert executor._expire_stale_leases(paths, [cid], states, {}) == 0
         fake["now"] += 29.0  # inside the lease window
-        assert executor._expire_stale_leases(paths, [cid], states) == 0
+        assert executor._expire_stale_leases(paths, [cid], states, {}) == 0
         fake["now"] += 2.0  # 31 s past the claim stamp: stale
-        assert executor._expire_stale_leases(paths, [cid], states) == 1
+        assert executor._expire_stale_leases(paths, [cid], states, {}) == 1
         assert (paths.tasks / f"{cid}.json").exists()
         assert not claim.exists()
         assert states[cid].attempt == 2  # the requeue consumed an attempt
@@ -281,7 +281,7 @@ class TestInjectableClock:
         os.utime(claim, (fake["now"] - 100, fake["now"] - 100))
         done = _CellState(task={"cell": cid})
         done.done = True
-        assert executor._expire_stale_leases(paths, [cid], {cid: done}) == 0
+        assert executor._expire_stale_leases(paths, [cid], {cid: done}, {}) == 0
         assert claim.exists()
 
     def test_default_clock_is_wall_clock(self, tmp_path):

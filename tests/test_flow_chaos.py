@@ -36,6 +36,7 @@ from repro.flow import (
 )
 from repro.flow.backends.queue import (
     RetryPolicy,
+    _CellState,
     ensure_queue_dirs,
     payload_digest,
     sign_payload,
@@ -436,6 +437,129 @@ class TestPoisonQuarantine:
         from repro.flow.cells import run_cell
         with pytest.raises(ChaosStageError, match="minimize"):
             run_cell(dict(task))
+
+
+# ----------------------------------------------------------- runaway hard cap
+
+
+class TestRunawayHardCap:
+    """The attempt hard cap quarantines runaway cells on *every*
+    resubmission path — retry backoffs, corrupt-result backoffs, stale
+    leases and lost cells alike — and records a structured outcome so a
+    partial result comes back instead of a crash."""
+
+    def _executor(self, queue_dir, fake):
+        return QueueExecutor(
+            queue_dir, lease_timeout=30.0,
+            retry=RetryPolicy(max_attempts=1, backoff_base=0.0),
+            clock=lambda: fake["now"],
+        )
+
+    def test_backoff_cell_past_cap_quarantines_into_outcomes(self, tmp_path):
+        """Regression: the runaway quarantine must write the real outcomes
+        dict — a throwaway dict left ``outcomes[cid]`` missing and the
+        merge crashed with KeyError instead of degrading."""
+        queue_dir = tmp_path / "queue"
+        paths = ensure_queue_dirs(queue_dir)
+        fake = {"now": 1_000_000.0}
+        executor = self._executor(queue_dir, fake)
+        cid = "run0-cell"
+        state = _CellState(task={"kind": "flow", "cell": cid})
+        state.attempt = executor._hard_cap  # the next resubmit breaches it
+        state.resubmit_at = fake["now"]
+        outcomes: dict = {}
+        executor._serve_backoffs(paths, [cid], {cid: state}, outcomes)
+        assert state.failed
+        assert outcomes[cid]["quarantine_reason"] == "runaway"
+        assert outcomes[cid]["error"]["type"] == "QueueRunawayError"
+        assert outcomes[cid]["attempts"] == executor._hard_cap + 1
+        quarantine = paths.failed / f"{cid}.json"
+        assert quarantine.exists()
+        assert json.loads(quarantine.read_text())["reason"] == "runaway"
+
+    def test_lost_cell_requeue_respects_hard_cap(self, tmp_path):
+        """Regression: infra requeues (lost cells, stale leases) never set
+        ``resubmit_at``, so a cap checked only in the backoff server let a
+        corrupt-every-attempt fault cycle submit→drop→resubmit forever."""
+        queue_dir = tmp_path / "queue"
+        paths = ensure_queue_dirs(queue_dir)
+        fake = {"now": 1_000_000.0}
+        executor = self._executor(queue_dir, fake)
+        cid = "run0-cell"
+        state = _CellState(task={"kind": "flow", "cell": cid})
+        state.attempt = executor._hard_cap
+        outcomes: dict = {}
+        counters = {"cells_lost": 0}
+        # No task/claim/result file: the cell is lost and would resubmit.
+        executor._recover_lost_cells(paths, [cid], {cid: state}, outcomes,
+                                     counters)
+        assert counters["cells_lost"] == 1
+        assert state.failed
+        assert outcomes[cid]["quarantine_reason"] == "runaway"
+        assert not (paths.tasks / f"{cid}.json").exists()
+
+    def test_corrupt_result_retries_with_backoff(self, tmp_path):
+        """Regression: a corrupt result used to resubmit immediately —
+        persistent corruption hot-looped at the poll interval and never
+        reached the hard-cap check."""
+        queue_dir = tmp_path / "queue"
+        paths = ensure_queue_dirs(queue_dir)
+        fake = {"now": 1_000_000.0}
+        executor = QueueExecutor(
+            queue_dir, lease_timeout=30.0,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.5),
+            clock=lambda: fake["now"],
+        )
+        cid = "run0-cell"
+        state = _CellState(task={"kind": "flow", "cell": cid})
+        (paths.results / f"{cid}.json").write_text("{not json")
+        counters = {"corrupt_results": 0}
+        executor._drop_corrupt_result(paths, cid, state, counters)
+        assert counters["corrupt_results"] == 1
+        # In backoff, not resubmitted yet; served once the delay elapses.
+        assert state.resubmit_at == fake["now"] + 0.5
+        assert not (paths.tasks / f"{cid}.json").exists()
+        fake["now"] += 0.5
+        executor._serve_backoffs(paths, [cid], {cid: state}, {})
+        assert state.attempt == 2
+        assert (paths.tasks / f"{cid}.json").exists()
+
+    def test_corrupt_every_attempt_degrades_to_partial(self, serial_sweep,
+                                                       tmp_path):
+        """End to end: a result corrupted on *every* attempt — the exact
+        adversary the cap guards against — terminates in a runaway
+        quarantine and a partial result; healthy cells still deliver."""
+        queue_dir = tmp_path / "queue"
+        set_active_plan(FaultPlan(seed=3, rules=(
+            FaultRule(kind="corrupt-result", match="flow:dk512:PST:0",
+                      attempts=()),
+        )))
+        executor = QueueExecutor(
+            queue_dir, lease_timeout=10.0, poll_interval=0.02, timeout=120,
+            retry=RetryPolicy(max_attempts=1, backoff_base=0.01),
+        )
+        thread = start_worker_thread(queue_dir, "w0")
+        result = Sweep(
+            NAMES, structures=("PST",), random_trials=2, strict=False,
+            backend=executor,
+        ).run()
+        (queue_dir / "stop").touch()
+        thread.join(timeout=30)
+
+        assert result.status == "partial"
+        assert len(result.failed_cells) == 1
+        failed = result.failed_cells[0]
+        assert (failed["fsm"], failed["structure"]) == ("dk512", "PST")
+        assert failed["errors"][0]["type"] == "QueueRunawayError"
+        assert failed["attempts"] == executor._hard_cap + 1
+        quarantine = Path(failed["quarantined"])
+        assert json.loads(quarantine.read_text())["reason"] == "runaway"
+        metadata = result.to_dict()["executor"]
+        assert metadata["corrupt_results"] >= executor._hard_cap
+        # Every healthy cell still merged bit-identically to serial.
+        assert {r.fsm for r in result.results} == {"ex4"}
+        report = fsck_queue(queue_dir, lease_timeout=60.0)
+        assert report.clean, [i.to_dict() for i in report.issues]
 
 
 # --------------------------------------------------------- timeout diagnostics
