@@ -25,8 +25,15 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
 * ``repro sweep --machines dk512,ex4 --structures PST,DFF --seeds 0,1`` —
   run an arbitrary ``machines x structures x seeds`` grid and print per-cell
   rows plus the executor summary,
+* ``repro serve --port 8520 --cache-dir cache/`` — run the HTTP coordinator
+  of the ``--backend http`` service path: cell submission/claim/lease/result
+  endpoints, a shared content-addressed cache tier, and a machine-readable
+  ``/stats`` endpoint (schema ``repro.net/1``),
 * ``repro worker queue-dir`` — run a work-queue worker daemon servicing the
-  distributed ``--backend queue`` of ``sweep``/``benchmarks``,
+  distributed ``--backend queue`` of ``sweep``/``benchmarks``; with
+  ``--url http://host:port`` instead, the worker joins a ``repro serve``
+  coordinator's fleet over HTTP (``--max-cells N`` / ``--drain`` exit
+  gracefully after finishing in-flight work),
 * ``repro fsck queue-dir`` — audit (``--repair``: fix) the invariants of a
   work-queue directory: leftover temp files, corrupt payloads, orphaned or
   duplicated claims, stale worker registrations,
@@ -40,10 +47,12 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
 * ``repro version`` / ``repro --version`` — report the package version.
 
 ``sweep`` and ``benchmarks`` select their execution backend with
-``--backend serial|pool|queue`` (default: ``pool`` when ``--jobs > 1``,
-else ``serial``); the queue backend distributes cells through a shared
-``--queue-dir`` serviced by any number of ``repro worker`` processes and
-is bit-identical to the serial backend at every worker count.
+``--backend serial|pool|queue|http`` (default: ``pool`` when ``--jobs >
+1``, else ``serial``); the queue backend distributes cells through a
+shared ``--queue-dir`` serviced by any number of ``repro worker``
+processes, the http backend through a ``repro serve`` coordinator named
+by ``--coordinator-url``, and both are bit-identical to the serial
+backend at every worker count.
 
 Invoke as ``python -m repro ...`` (an entry point is intentionally avoided so
 the offline editable install stays trivial).
@@ -67,12 +76,16 @@ from .flow import (
     add_flow_arguments,
     config_from_args,
     fsck_queue,
+    run_coordinator,
     run_flow,
+    run_http_worker,
     run_worker,
 )
 from .fsm import benchmark_names, parse_kiss_file, validate_fsm
 from .logic.pla import write_pla
 from .reporting import (
+    cache_hit_rate,
+    cache_stats_rows,
     faultsim_rows,
     flow_summary_rows,
     format_comparison,
@@ -148,24 +161,54 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fault-patterns", type=int, default=None,
                        help="also fault-simulate every cell with N random patterns")
 
-    worker = sub.add_parser(
-        "worker", help="run a work-queue worker daemon for distributed sweeps"
+    serve = sub.add_parser(
+        "serve", help="run the HTTP coordinator of the service path"
     )
-    worker.add_argument("queue_dir", type=Path,
-                        help="shared queue directory (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8520,
+                       help="listening port (0: pick a free port)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="serve this directory as the fleet's shared "
+                            "content-addressed cache tier")
+    serve.add_argument("--lease-timeout", type=float, default=30.0,
+                       help="default claim-lease window in seconds")
+    serve.add_argument("--max-cache-bytes", type=int, default=None,
+                       help="LRU bound of the served cache in bytes")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines (the ready line always "
+                            "prints)")
+
+    worker = sub.add_parser(
+        "worker", help="run a worker daemon for distributed sweeps"
+    )
+    worker.add_argument("queue_dir", type=Path, nargs="?", default=None,
+                        help="shared queue directory of the queue backend "
+                             "(created if missing; omit when using --url)")
+    worker.add_argument("--url", default=None,
+                        help="join a 'repro serve' coordinator fleet over "
+                             "HTTP instead of a queue directory")
     worker.add_argument("--cache-dir", default=None,
-                        help="override the artifact-cache directory of every cell")
+                        help="override the artifact-cache directory of every cell "
+                             "(with --url: the worker-local read-through tier)")
     worker.add_argument("--worker-id", default=None,
                         help="stable worker identity (default: host-pid-nonce)")
     worker.add_argument("--poll-interval", type=float, default=0.1,
                         help="idle polling period in seconds")
     worker.add_argument("--lease-timeout", type=float, default=30.0,
-                        help="lease window agreed with the orchestrator")
+                        help="lease window agreed with the orchestrator "
+                             "(queue mode)")
     worker.add_argument("--max-idle", type=float, default=None,
                         help="exit after this many idle seconds (default: wait "
-                             "for the queue's stop file)")
+                             "for the stop signal)")
     worker.add_argument("--once", action="store_true",
                         help="drain the queue and exit as soon as it is empty")
+    worker.add_argument("--drain", action="store_true",
+                        help="finish in-flight work, deregister and exit 0 as "
+                             "soon as no cell is pending")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit gracefully after executing N cells (the "
+                             "in-flight cell always finishes and uploads)")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
     worker.add_argument("--json", action="store_true", dest="as_json",
@@ -193,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-bytes", type=int, default=None,
                        help="gc: evict least-recently-used artifacts until the "
                             "store is at most this many bytes")
+    cache.add_argument("--url", default=None,
+                       help="stats: report the live cache tier of a running "
+                            "'repro serve' coordinator instead of a local "
+                            "directory")
     cache.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the report as JSON")
 
@@ -233,6 +280,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_benchmarks(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "worker":
         return _cmd_worker(args)
     if args.command == "fsck":
@@ -256,6 +305,9 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--queue-dir", type=Path, default=None,
                         help="shared work-queue directory of the queue backend "
                              "(serviced by 'repro worker' processes)")
+    parser.add_argument("--coordinator-url", default=None,
+                        help="base URL of a running 'repro serve' coordinator "
+                             "(http backend; implies --backend http)")
     parser.add_argument("--lease-timeout", type=float, default=30.0,
                         help="queue backend: seconds without a worker heartbeat "
                              "before a cell is requeued")
@@ -295,6 +347,7 @@ def _sweep_from_args(args: argparse.Namespace, names: List[str],
         jobs=args.jobs,
         backend=args.backend,
         queue_dir=args.queue_dir,
+        coordinator_url=args.coordinator_url,
         lease_timeout=args.lease_timeout,
         queue_timeout=args.queue_timeout,
         strict=not args.allow_partial,
@@ -467,18 +520,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    log = (lambda line: None) if args.quiet else print
+    run_coordinator(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        lease_timeout=args.lease_timeout,
+        max_cache_bytes=args.max_cache_bytes,
+        log=log,
+        # The ready line always prints (even --quiet) and is flushed:
+        # scripts starting a coordinator subprocess wait on it instead of
+        # polling the port.
+        ready=lambda url: print(f"repro serve ready {url}", flush=True),
+    )
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     log = (lambda line: None) if args.quiet or args.as_json else print
-    stats = run_worker(
-        args.queue_dir,
-        cache_dir=args.cache_dir,
-        worker_id=args.worker_id,
-        poll_interval=args.poll_interval,
-        lease_timeout=args.lease_timeout,
-        max_idle=args.max_idle,
-        once=args.once,
-        log=log,
-    )
+    if args.url is not None and args.queue_dir is not None:
+        print("worker takes either a queue directory or --url, not both",
+              file=sys.stderr)
+        return 2
+    if args.url is not None:
+        stats = run_http_worker(
+            args.url,
+            cache_dir=args.cache_dir,
+            worker_id=args.worker_id,
+            poll_interval=args.poll_interval,
+            max_idle=args.max_idle,
+            max_cells=args.max_cells,
+            drain=args.drain or args.once,
+            log=log,
+        )
+    elif args.queue_dir is not None:
+        stats = run_worker(
+            args.queue_dir,
+            cache_dir=args.cache_dir,
+            worker_id=args.worker_id,
+            poll_interval=args.poll_interval,
+            lease_timeout=args.lease_timeout,
+            max_idle=args.max_idle,
+            once=args.once or args.drain,
+            max_cells=args.max_cells,
+            log=log,
+        )
+    else:
+        print("worker needs a queue directory or --url http://host:port",
+              file=sys.stderr)
+        return 2
     if args.as_json:
         print(json.dumps(stats.to_dict(), indent=2))
     # Nonzero exit when any cell failed, so supervisors and CI scripts
@@ -511,6 +602,12 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.url is not None:
+        if args.action != "stats":
+            print("--url only supports the stats action (clear/gc are local)",
+                  file=sys.stderr)
+            return 2
+        return _cmd_cache_remote_stats(args)
     cache = _cache_from_args(args)
     if cache is None:
         print("no cache directory: pass --cache-dir or set $REPRO_FLOW_CACHE",
@@ -520,6 +617,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         report["artifacts"] = len(cache)
         report["total_bytes"] = cache.total_bytes()
+        stats = cache.stats
+        report.update(stats)
+        rate = cache_hit_rate(stats)
+        report["hit_rate"] = round(rate, 4) if rate is not None else None
     elif args.action == "clear":
         report["removed"] = cache.clear()
     else:  # gc
@@ -532,6 +633,34 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     else:
         for key, value in report.items():
             print(f"{key}: {value}")
+        if args.action == "stats":
+            print(format_table(["metric", "value"], cache_stats_rows(report),
+                               title="Session counters"))
+    return 0
+
+
+def _cmd_cache_remote_stats(args: argparse.Namespace) -> int:
+    """``repro cache stats --url``: the live tier of a running coordinator."""
+    from .flow.net.protocol import CoordinatorError, request_with_retry
+
+    base = args.url.rstrip("/")
+    try:
+        payload = request_with_retry(f"{base}/api/v1/stats", "GET", tries=3)
+    except CoordinatorError as exc:
+        print(f"cannot reach coordinator {base}: {exc}", file=sys.stderr)
+        return 2
+    block = payload.get("cache")
+    if not isinstance(block, dict):
+        print(f"coordinator {base} serves no cache tier", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps({"url": base, "action": "stats", **block}, indent=2))
+        return 0
+    print(f"url: {base}")
+    if block.get("root"):
+        print(f"root: {block['root']}")
+    print(format_table(["metric", "value"], cache_stats_rows(block),
+                       title="Coordinator cache tier"))
     return 0
 
 

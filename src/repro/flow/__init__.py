@@ -7,9 +7,11 @@ content-addressed on-disk artifact cache (:class:`ArtifactCache`, with
 size-bounded LRU eviction) and a batch orchestrator (:class:`Sweep`) that
 fans ``machines x structures x seeds`` grids out through pluggable
 executor backends (:mod:`repro.flow.backends`): in-process serial, a
-local process pool, or a filesystem work-queue serviced by ``repro
-worker`` daemons (:mod:`repro.flow.worker`) for distribution beyond one
-process or host.
+local process pool, a filesystem work-queue serviced by ``repro
+worker`` daemons (:mod:`repro.flow.worker`), or a ``repro serve`` HTTP
+coordinator (:mod:`repro.flow.net`) whose ``repro worker --url`` fleets
+and shared :class:`RemoteCache` tier span hosts with no shared
+filesystem at all.
 
 Every front end — the ``repro`` CLI, the benchmark harnesses under
 ``benchmarks/``, and remote workers — drives the engines of PR 1/2
@@ -40,6 +42,15 @@ from .cells import (
 from .chaos import ChaosStageError, FaultPlan, FaultRule, set_active_plan
 from .config import FLOW_STAGES, FlowConfig, add_flow_arguments, config_from_args
 from .fsck import FsckIssue, FsckReport, fsck_queue
+from .net import (
+    NET_SCHEMA,
+    Coordinator,
+    CoordinatorHandle,
+    HttpExecutor,
+    RemoteCache,
+    run_coordinator,
+    run_http_worker,
+)
 from .pipeline import fsm_digest, resolve_fsm, run_flow
 from .results import FLOW_RESULT_SCHEMA, FlowResult, StageResult
 from .sweep import BaselineResult, Sweep, SweepResult
@@ -85,4 +96,11 @@ __all__ = [
     "fsck_queue",
     "WorkerStats",
     "run_worker",
+    "NET_SCHEMA",
+    "Coordinator",
+    "CoordinatorHandle",
+    "HttpExecutor",
+    "RemoteCache",
+    "run_coordinator",
+    "run_http_worker",
 ]

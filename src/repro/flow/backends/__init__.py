@@ -6,7 +6,10 @@ Three implementations of the :class:`SweepExecutor` interface:
 * :class:`LocalPoolExecutor` — one shared local process pool
   (the former ``Sweep(jobs=N)`` behaviour),
 * :class:`QueueExecutor` — a filesystem work-queue shared with
-  ``repro worker`` daemons, for fan-out beyond one process or host.
+  ``repro worker`` daemons, for fan-out beyond one process or host,
+* ``HttpExecutor`` (:mod:`repro.flow.net.client`) — a ``repro serve``
+  HTTP coordinator servicing ``repro worker --url`` fleets across hosts
+  with no shared filesystem at all.
 
 All backends run cells through :func:`repro.flow.cells.run_cell` and
 merge outcomes in submission order, so sweep results are bit-identical
@@ -35,7 +38,7 @@ __all__ = [
 ]
 
 #: The names ``resolve_backend`` (and the CLI ``--backend`` flag) accept.
-BACKEND_NAMES = ("serial", "pool", "queue")
+BACKEND_NAMES = ("serial", "pool", "queue", "http")
 
 
 def resolve_backend(
@@ -43,6 +46,7 @@ def resolve_backend(
     *,
     jobs: int = 1,
     queue_dir: Optional[Union[str, Path]] = None,
+    coordinator_url: Optional[str] = None,
     lease_timeout: float = 30.0,
     poll_interval: float = 0.05,
     timeout: Optional[float] = None,
@@ -70,6 +74,20 @@ def resolve_backend(
             queue_dir,
             lease_timeout=lease_timeout,
             poll_interval=poll_interval,
+            timeout=timeout,
+            retry=retry,
+        )
+    if spec == "http":
+        if coordinator_url is None:
+            raise ValueError("the http backend needs a coordinator_url")
+        # Lazy import: repro.flow.net sits above backends in the layering
+        # (its client builds on this package's base/queue modules).
+        from ..net.client import HttpExecutor
+
+        return HttpExecutor(
+            coordinator_url,
+            lease_timeout=lease_timeout,
+            poll_interval=max(poll_interval, 0.05),
             timeout=timeout,
             retry=retry,
         )

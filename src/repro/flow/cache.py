@@ -84,13 +84,18 @@ class ArtifactCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or ``None`` on a miss."""
+    def _load_local(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read the local artifact for ``key`` without hit/miss accounting.
+
+        Corrupt artifacts (torn writes, injected chaos) are dropped and
+        counted; the caller decides whether the ``None`` is a terminal
+        miss or the trigger for a remote-tier lookup (see
+        :class:`repro.flow.net.cache.RemoteCache`).
+        """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
-        except OSError:
-            self.misses += 1
+        except OSError:  # repro: allow-swallowed-exception -- a missing/unreadable artifact IS the miss; the caller does the hit/miss accounting
             return None
         except ValueError:
             # A torn or corrupted artifact (bad JSON, bad UTF-8 — note
@@ -100,7 +105,6 @@ class ArtifactCache:
             except OSError:  # repro: allow-swallowed-exception -- a concurrent reader dropped it first; the miss below is the record
                 pass
             self.corrupt += 1
-            self.misses += 1
             return None
         if not isinstance(payload, dict):
             # Valid JSON but not a stage payload (e.g. a truncated "[]"):
@@ -110,13 +114,20 @@ class ArtifactCache:
             except OSError:  # repro: allow-swallowed-exception -- a concurrent reader dropped it first; the miss below is the record
                 pass
             self.corrupt += 1
-            self.misses += 1
             return None
-        self.hits += 1
         try:
             os.utime(path)  # touch: LRU eviction spares recently served artifacts
         except OSError:  # repro: allow-swallowed-exception -- LRU recency is advisory; a failed touch only ages the entry
             pass
+        return payload
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        payload = self._load_local(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
         return payload
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:

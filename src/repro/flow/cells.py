@@ -217,7 +217,14 @@ def run_cell(
     if fsm is None:
         fsm = rebuild_fsm(task)
     if cache is None and task.get("cache_dir"):
-        cache = ArtifactCache(task["cache_dir"])
+        if task.get("cache_url"):
+            # Lazy import: net/ sits above cells in the layering, and the
+            # remote tier only exists on the coordinator path.
+            from .net.cache import RemoteCache
+
+            cache = RemoteCache(str(task["cache_url"]), task["cache_dir"])
+        else:
+            cache = ArtifactCache(task["cache_dir"])
     before = dict(cache.stats) if cache is not None else None
     config = FlowConfig.from_dict(task["config"])
     hook = _stage_hook_for(task, attempt)

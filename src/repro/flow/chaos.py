@@ -83,6 +83,15 @@ FAULT_KINDS: Tuple[str, ...] = (
     "corrupt-result",    # worker.py: write a torn result payload
     "corrupt-task",      # backends/queue.py: submit a torn task payload
     "corrupt-cache",     # cache.py: corrupt the artifact just written
+    # Network kinds of the HTTP coordinator path (repro.flow.net).  All
+    # four are keyed by the request site label ``"METHOD /path"`` and the
+    # sender's per-request try number, so a rule with ``attempts=[1]``
+    # models a transient network fault (first try fails, the retry goes
+    # through) and an unrestricted rule a hard network partition.
+    "net-drop",          # net/protocol.py: connection dropped before sending
+    "net-5xx",           # net/coordinator.py: respond 500 instead of handling
+    "net-slow",          # net/coordinator.py: delay the response `seconds`
+    "net-corrupt",       # net/protocol.py: corrupt the response body bytes
 )
 
 

@@ -162,12 +162,15 @@ class Sweep:
             submission order, so results are identical at every jobs
             count); ``jobs == 1`` runs serially in-process.
         backend: executor backend — ``"serial"``, ``"pool"``, ``"queue"``,
-            or a :class:`~repro.flow.backends.SweepExecutor` instance.
-            ``None`` keeps the ``jobs=``-based mapping above.
+            ``"http"``, or a :class:`~repro.flow.backends.SweepExecutor`
+            instance.  ``None`` keeps the ``jobs=``-based mapping above.
         queue_dir: shared work-queue directory (queue backend only).
-        lease_timeout: queue-lease expiry in seconds (queue backend only).
-        queue_timeout: overall queue deadline in seconds; ``None`` waits
-            forever for workers (queue backend only).
+        coordinator_url: base URL of a running ``repro serve`` coordinator
+            (http backend only) — cells are submitted over HTTP and
+            serviced by ``repro worker --url`` fleets on any host.
+        lease_timeout: queue/http lease expiry in seconds.
+        queue_timeout: overall queue/http deadline in seconds; ``None``
+            waits forever for workers.
         strict: with ``True`` (the default) any failed cell raises
             :class:`RuntimeError` — today's all-or-nothing contract.
             With ``False`` the sweep *degrades*: failed cells land in
@@ -198,6 +201,7 @@ class Sweep:
         jobs: int = 1,
         backend: Optional[Union[str, SweepExecutor]] = None,
         queue_dir: Optional[Union[str, Path]] = None,
+        coordinator_url: Optional[str] = None,
         lease_timeout: float = 30.0,
         queue_timeout: Optional[float] = None,
         strict: bool = True,
@@ -229,10 +233,13 @@ class Sweep:
         self.jobs = max(1, int(jobs))
         self.strict = bool(strict)
         self.cell_deadline = cell_deadline
+        if backend is None and coordinator_url is not None:
+            backend = "http"
         self.executor: SweepExecutor = resolve_backend(
             backend,
             jobs=self.jobs,
             queue_dir=queue_dir,
+            coordinator_url=coordinator_url,
             lease_timeout=lease_timeout,
             timeout=queue_timeout,
             retry=RetryPolicy(max_attempts=max_attempts, backoff_base=retry_backoff),
@@ -254,6 +261,10 @@ class Sweep:
         worker_jobs = self.config.jobs if self.executor.in_process else 1
         tasks: List[Dict[str, Any]] = []
         cache_dir = str(self.cache.root) if self.cache is not None else None
+        # A RemoteCache carries its coordinator URL; shipping it with the
+        # payloads points every out-of-process worker at the same shared
+        # remote tier (workers substitute their own local directory).
+        cache_url = getattr(self.cache, "url", None)
         for fsm in self.fsms:
             kiss = write_kiss(fsm)
             states = list(fsm.states)
@@ -271,6 +282,8 @@ class Sweep:
                     "trials": self.random_trials,
                     "random_seed": self.random_seed,
                 }
+                if cache_url is not None:
+                    baseline_task["cache_url"] = str(cache_url)
                 if self.cell_deadline is not None:
                     baseline_task["deadline_seconds"] = float(self.cell_deadline)
                 tasks.append(baseline_task)
@@ -287,6 +300,8 @@ class Sweep:
                         "config": cell_config.to_dict(),
                         "cache_dir": cache_dir,
                     }
+                    if cache_url is not None:
+                        flow_task["cache_url"] = str(cache_url)
                     if self.cell_deadline is not None:
                         flow_task["deadline_seconds"] = float(self.cell_deadline)
                     tasks.append(flow_task)

@@ -170,6 +170,7 @@ def run_worker(
     lease_timeout: float = 30.0,
     max_idle: Optional[float] = None,
     once: bool = False,
+    max_cells: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> WorkerStats:
     """Service a queue directory until stopped; returns the run's stats.
@@ -187,6 +188,9 @@ def run_worker(
         max_idle: exit after this many idle seconds (``None``: wait for
             the ``stop`` sentinel).
         once: exit as soon as a scan finds no pending task (drain mode).
+        max_cells: exit gracefully after this many executed cells — the
+            in-flight cell always finishes and uploads first, so a capped
+            worker never leaves lease-requeue noise behind.
         log: line sink for progress messages (``None``: silent).
     """
     paths = ensure_queue_dirs(queue_dir)
@@ -313,6 +317,9 @@ def run_worker(
             elapsed = time.perf_counter() - started
             stats.busy_seconds += elapsed
             emit(f"[{wid}] {cid} {task.get('kind')}:{task.get('name')} ({elapsed:.2f}s)")
+            if max_cells is not None and stats.cells >= max_cells:
+                stats.stopped_by = "max-cells"
+                break
     finally:
         try:
             registration.unlink()

@@ -1,6 +1,8 @@
 """Text reporting helpers for experiment results."""
 
 from .tables import (
+    cache_hit_rate,
+    cache_stats_rows,
     faultsim_rows,
     flow_summary_rows,
     format_comparison,
@@ -14,6 +16,8 @@ from .tables import (
 )
 
 __all__ = [
+    "cache_hit_rate",
+    "cache_stats_rows",
     "format_comparison",
     "format_paper_vs_measured",
     "format_table",

@@ -26,6 +26,8 @@ __all__ = [
     "sweep_table3_rows",
     "sweep_cell_rows",
     "sweep_executor_rows",
+    "cache_stats_rows",
+    "cache_hit_rate",
 ]
 
 
@@ -199,13 +201,55 @@ def sweep_table2_rows(
     return rows
 
 
+def cache_hit_rate(stats: Mapping[str, Any]) -> Optional[float]:
+    """The hit fraction of one cache-counter mapping (``None``: no lookups)."""
+    hits = int(stats.get("hits", 0))
+    lookups = hits + int(stats.get("misses", 0))
+    return hits / lookups if lookups else None
+
+
+def cache_stats_rows(stats: Mapping[str, Any]) -> List[List[object]]:
+    """``metric / value`` rows of one cache-counter mapping.
+
+    Works on every counter shape the flow layer produces: a live
+    ``ArtifactCache.stats`` / ``RemoteCache.stats`` property value, the
+    aggregated ``cache_stats`` of a serialized sweep, and the ``cache``
+    block of the coordinator's ``/stats`` payload.  The hit-rate row is
+    always present (``n/a`` until the first lookup); zero-valued
+    incidental counters (evictions, corruption, remote tiers) are elided.
+    """
+    rate = cache_hit_rate(stats)
+    rows: List[List[object]] = [
+        ["cache hits / misses / writes",
+         f"{stats.get('hits', 0)} / {stats.get('misses', 0)}"
+         f" / {stats.get('writes', 0)}"],
+        ["cache hit rate", f"{rate:.1%}" if rate is not None else "n/a"],
+    ]
+    if stats.get("remote_hits") or stats.get("remote_misses"):
+        rows.append(["remote hits / misses",
+                     f"{stats.get('remote_hits', 0)} / "
+                     f"{stats.get('remote_misses', 0)}"])
+    if stats.get("remote_corrupt"):
+        rows.append(["corrupt remote downloads (served as misses)",
+                     stats["remote_corrupt"]])
+    if stats.get("remote_errors"):
+        rows.append(["remote cache errors (degraded to local)",
+                     stats["remote_errors"]])
+    if stats.get("evictions"):
+        rows.append(["cache evictions", stats["evictions"]])
+    if stats.get("corrupt"):
+        rows.append(["corrupt cache entries dropped", stats["corrupt"]])
+    return rows
+
+
 def sweep_executor_rows(sweep: Mapping[str, Any]) -> List[List[object]]:
     """``metric / value`` rows describing how a serialized sweep executed.
 
     Renders the executor metadata of ``SweepResult.to_dict()`` — backend,
     worker count, requeued cells, per-worker cell counts — plus the
     aggregated artifact-cache statistics of every cell (including cells
-    that ran in pool workers or on remote queue workers).
+    that ran in pool workers, on remote queue workers, or on an HTTP
+    fleet), with the hit rate computed from the aggregated counters.
     """
     executor = sweep.get("executor", {})
     rows: List[List[object]] = [
@@ -213,6 +257,8 @@ def sweep_executor_rows(sweep: Mapping[str, Any]) -> List[List[object]]:
         ["workers", executor.get("workers", 1)],
         ["cells requeued", executor.get("cells_requeued", 0)],
     ]
+    if executor.get("coordinator_url"):
+        rows.append(["coordinator", executor["coordinator_url"]])
     status = sweep.get("status", "complete")
     if status != "complete" or sweep.get("failed_cells"):
         failed = sweep.get("failed_cells", [])
@@ -238,13 +284,7 @@ def sweep_executor_rows(sweep: Mapping[str, Any]) -> List[List[object]]:
         )])
     cache_stats = sweep.get("cache_stats", {})
     if cache_stats:
-        rows.append(["cache hits / misses / writes",
-                     f"{cache_stats.get('hits', 0)} / {cache_stats.get('misses', 0)}"
-                     f" / {cache_stats.get('writes', 0)}"])
-        if cache_stats.get("evictions"):
-            rows.append(["cache evictions", cache_stats["evictions"]])
-        if cache_stats.get("corrupt"):
-            rows.append(["corrupt cache entries dropped", cache_stats["corrupt"]])
+        rows.extend(cache_stats_rows(cache_stats))
     return rows
 
 

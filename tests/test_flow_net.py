@@ -1,0 +1,784 @@
+"""Tests for the synthesis-as-a-service layer: the ``repro serve`` HTTP
+coordinator, the ``backend="http"`` sweep executor, the ``repro worker
+--url`` network worker loop, and the :class:`RemoteCache` tier.
+
+The coordinator's lease/retry/quarantine state machine is unit-tested
+directly with an injected clock (no sleeping, no sockets); the end-to-end
+parity tests then run a real asyncio coordinator with real worker threads
+and assert the merged sweep is *bit-identical* to the serial backend —
+including under injected network faults.  Worker-crash chaos
+(``os._exit``) is deliberately NOT exercised here: killing the test
+process is the CI ``service`` job's business, which drives it through
+real subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.flow import (
+    ArtifactCache,
+    CoordinatorHandle,
+    FaultPlan,
+    FaultRule,
+    HttpExecutor,
+    QueueExecutor,
+    RemoteCache,
+    RetryPolicy,
+    Sweep,
+    run_http_worker,
+    run_worker,
+    set_active_plan,
+)
+from repro.flow.net import NET_SCHEMA
+from repro.flow.net.coordinator import Coordinator, free_port
+from repro.flow.net.protocol import (
+    CoordinatorError,
+    IntegrityError,
+    NotFoundError,
+    _parse_response,
+    check_schema,
+    request,
+    request_with_retry,
+    signed_body,
+    site_label,
+    split_netloc,
+)
+from repro.reporting import cache_hit_rate, cache_stats_rows, sweep_executor_rows
+
+NAMES = ["dk512", "ex4"]
+
+
+def normalized(sweep_dict: dict) -> dict:
+    """Strip timing/worker metadata; the rest must be bit-identical."""
+    data = json.loads(json.dumps(sweep_dict))
+    for key in ("total_seconds", "executor", "cache_stats"):
+        data.pop(key, None)
+    for result in data["results"]:
+        result.pop("total_seconds", None)
+        for stage in result["stages"]:
+            stage.pop("seconds", None)
+            stage.pop("cached", None)
+    for baseline in data.get("baselines", {}).values():
+        for key in ("seconds", "lookup_seconds", "cached"):
+            baseline.pop(key, None)
+    return data
+
+
+def start_worker_thread(url: str, worker_id: str, box: dict = None,
+                        **kwargs) -> threading.Thread:
+    kwargs.setdefault("poll_interval", 0.02)
+    kwargs.setdefault("max_idle", 60.0)
+
+    def run():
+        stats = run_http_worker(url, worker_id=worker_id, **kwargs)
+        if box is not None:
+            box[worker_id] = stats
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return Sweep(NAMES, structures=("PST",), random_trials=2).run()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    set_active_plan(None)
+
+
+# ------------------------------------------------------------- protocol
+
+
+class TestProtocol:
+    def test_site_label_and_netloc(self):
+        assert site_label("POST", "/api/v1/claim") == "POST /api/v1/claim"
+        assert split_netloc("http://coord.example:9999/api") == ("coord.example", 9999)
+        assert split_netloc("coord.example") == ("coord.example", 8520)
+
+    def test_signed_body_roundtrip(self):
+        raw = signed_body({"cell": "a", "n": 1})
+        payload = _parse_response(raw)
+        assert payload["cell"] == "a" and payload["n"] == 1
+
+    def test_tampered_body_is_an_integrity_error(self):
+        raw = signed_body({"cell": "a"}).replace(b'"a"', b'"b"')
+        with pytest.raises(IntegrityError, match="sha256"):
+            _parse_response(raw)
+        with pytest.raises(IntegrityError, match="unparseable"):
+            _parse_response(b'{"torn": ')
+        with pytest.raises(IntegrityError, match="not a JSON object"):
+            _parse_response(b"[1, 2]")
+
+    def test_check_schema(self):
+        check_schema({"schema": NET_SCHEMA})
+        check_schema({})  # absent schema reads as current
+        with pytest.raises(CoordinatorError, match="repro.net/999"):
+            check_schema({"schema": "repro.net/999"})
+
+    def test_unreachable_coordinator_is_a_transport_error(self):
+        url = f"http://127.0.0.1:{free_port()}/api/v1/stats"
+        with pytest.raises(CoordinatorError):
+            request(url, timeout=0.5)
+        started = time.monotonic()
+        with pytest.raises(CoordinatorError):
+            request_with_retry(url, timeout=0.5, tries=2, backoff_base=0.01)
+        assert time.monotonic() - started < 5.0
+
+    def test_retry_validation(self):
+        with pytest.raises(ValueError, match="tries"):
+            request_with_retry("http://127.0.0.1:1/", tries=0)
+
+
+# --------------------------------------------- coordinator state machine
+
+
+def make_coordinator(now, **kwargs):
+    kwargs.setdefault("lease_timeout", 5.0)
+    return Coordinator(clock=lambda: now[0], **kwargs)
+
+
+def submit(coord, cells=("a", "b"), run_id="r", max_attempts=3,
+           backoff_base=0.01, lease_timeout=5.0):
+    retry = RetryPolicy(max_attempts=max_attempts, backoff_base=backoff_base)
+    status, body = coord._handle_submit({
+        "schema": NET_SCHEMA,
+        "run": run_id,
+        "tasks": [{"cell": name, "kind": "flow", "name": "m"} for name in cells],
+        "retry": retry.to_dict(),
+        "lease_timeout": lease_timeout,
+    })
+    assert status == 200 and body["cells"] == len(cells)
+    return retry
+
+
+def ok_outcome(cid, worker):
+    return {"kind": "flow", "cell": cid, "result": {"value": cid},
+            "worker": worker, "cache_stats": None}
+
+
+def err_outcome(cid, worker, message):
+    return {"kind": "flow", "cell": cid, "result": None, "worker": worker,
+            "cache_stats": None,
+            "error": {"type": "ChaosStageError", "message": message,
+                      "traceback": "tb"}}
+
+
+class TestCoordinatorStateMachine:
+    def test_submit_claim_complete_in_submission_order(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a", "b"))
+        # Claims hand out cells in submission order.
+        _, first = coord._handle_claim({"worker": "w1"})
+        _, second = coord._handle_claim({"worker": "w2"})
+        assert (first["cell"], second["cell"]) == ("r-a", "r-b")
+        assert first["attempt"] == 1 and first["stop"] is False
+        # Completion out of order; outcomes still merge in submission order.
+        coord._handle_result("r-b", {"worker": "w2",
+                                     "outcome": ok_outcome("r-b", "w2")})
+        coord._handle_result("r-a", {"worker": "w1",
+                                     "outcome": ok_outcome("r-a", "w1")})
+        status, body = coord._handle_run_status("r")
+        assert status == 200 and body["status"] == "complete"
+        assert [o["cell"] for o in body["outcomes"]] == ["r-a", "r-b"]
+        assert body["workers_seen"] == ["w1", "w2"]
+        assert body["quarantined"] == []
+        # Delete frees the cell index for reuse.
+        assert coord._handle_run_delete("r")[0] == 200
+        assert coord._handle_run_status("r")[0] == 404
+
+    def test_submission_is_idempotent_and_rejects_duplicates(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a",))
+        submit(coord, cells=("a",))  # client retry of a dropped response
+        assert coord._totals["runs_submitted"] == 1
+        status, body = coord._handle_submit({
+            "run": "r2", "tasks": [{"cell": "x"}, {"cell": "x"}]})
+        assert status == 400 and "duplicate" in body["error"]
+        status, body = coord._handle_submit({
+            "schema": "repro.net/999", "run": "r3", "tasks": [{"cell": "y"}]})
+        assert status == 400 and "schema" in body["error"]
+
+    def test_lease_expiry_requeues_and_stale_upload_is_abandoned(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a",), lease_timeout=5.0)
+        coord._handle_claim({"worker": "w1"})
+        now[0] = 6.0  # past the lease window
+        coord._tick()
+        status, body = coord._handle_run_status("r")
+        assert body["counters"]["requeues"] == 1
+        # The requeued cell is claimable again with a bumped attempt.
+        _, claim = coord._handle_claim({"worker": "w2"})
+        assert claim["cell"] == "r-a" and claim["attempt"] == 2
+        # The original worker's late upload must be abandoned, not merged.
+        _, resp = coord._handle_result(
+            "r-a", {"worker": "w1", "outcome": ok_outcome("r-a", "w1")})
+        assert resp == {"accepted": False, "reason": "stale-lease"}
+        _, resp = coord._handle_result(
+            "r-a", {"worker": "w2", "outcome": ok_outcome("r-a", "w2")})
+        assert resp["accepted"] is True
+        _, body = coord._handle_run_status("r")
+        assert body["status"] == "complete"
+        assert body["outcomes"][0]["worker"] == "w2"
+
+    def test_heartbeat_renews_lease_and_reports_loss(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a",), lease_timeout=5.0)
+        coord._handle_claim({"worker": "w1"})
+        now[0] = 4.0
+        _, beat = coord._handle_heartbeat({"worker": "w1", "cell": "r-a"})
+        assert beat == {"ok": True}
+        now[0] = 8.0  # inside the renewed window, past the original
+        coord._tick()
+        _, body = coord._handle_run_status("r")
+        assert body["counters"]["requeues"] == 0
+        now[0] = 20.0
+        coord._tick()
+        _, beat = coord._handle_heartbeat({"worker": "w1", "cell": "r-a"})
+        assert beat == {"ok": False, "reason": "lease-lost"}
+        _, beat = coord._handle_heartbeat({"worker": "w1", "cell": "nope"})
+        assert beat == {"ok": False, "reason": "unknown-cell"}
+
+    def test_deterministic_error_quarantines_after_two_attempts(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a", "b"), max_attempts=5, backoff_base=0.01)
+        for attempt in (1, 2):
+            _, claim = coord._handle_claim({"worker": "w1"})
+            assert claim["cell"] == "r-a" and claim["attempt"] == attempt
+            coord._handle_result("r-a", {
+                "worker": "w1",
+                "outcome": err_outcome("r-a", "w1", "minimize exploded")})
+            now[0] += 1.0
+            coord._tick()  # serve the backoff (first iteration only)
+        _, body = coord._handle_run_status("r")
+        assert body["cells"]["failed"] == 1
+        # Healthy sibling still completes: partial, not empty.
+        _, claim = coord._handle_claim({"worker": "w1"})
+        assert claim["cell"] == "r-b"
+        coord._handle_result("r-b", {"worker": "w1",
+                                     "outcome": ok_outcome("r-b", "w1")})
+        _, body = coord._handle_run_status("r")
+        assert body["status"] == "partial"
+        assert body["quarantined"] == ["r-a"]
+        failed = body["outcomes"][0]
+        assert failed["quarantine_reason"] == "deterministic"
+        assert failed["attempts"] == 2
+        assert failed["quarantined"] == "coordinator:r/r-a"
+        assert [e["type"] for e in failed["error_attempts"]] == (
+            ["ChaosStageError"] * 2)
+
+    def test_changing_errors_exhaust_max_attempts(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a",), max_attempts=3, backoff_base=0.01)
+        for attempt in (1, 2, 3):
+            coord._handle_claim({"worker": "w1"})
+            coord._handle_result("r-a", {
+                "worker": "w1",
+                "outcome": err_outcome("r-a", "w1", f"flake {attempt}")})
+            now[0] += 1.0
+            coord._tick()
+        _, body = coord._handle_run_status("r")
+        assert body["status"] == "partial"
+        failed = body["outcomes"][0]
+        assert failed["quarantine_reason"] == "exhausted"
+        assert failed["attempts"] == 3
+        assert body["counters"]["retries"] == 2
+
+    def test_runaway_requeues_hit_the_hard_cap(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        retry = submit(coord, cells=("a",), max_attempts=2, lease_timeout=1.0)
+        hard_cap = retry.max_attempts * 4
+        for _ in range(hard_cap + 1):
+            _, claim = coord._handle_claim({"worker": "w1"})
+            if claim["cell"] is None:
+                break
+            now[0] += 2.0  # every lease expires without an upload
+            coord._tick()
+        _, body = coord._handle_run_status("r")
+        assert body["status"] == "partial"
+        failed = body["outcomes"][0]
+        assert failed["quarantine_reason"] == "runaway"
+        assert failed["error"]["type"] == "QueueRunawayError"
+        assert body["counters"]["requeues"] == hard_cap
+
+    def test_corrupt_result_backs_off_then_resubmits(self):
+        now = [0.0]
+        coord = make_coordinator(now)
+        submit(coord, cells=("a",), backoff_base=0.5)
+        coord._handle_claim({"worker": "w1"})
+        status, body = coord._handle_result("r-a", None)
+        assert status == 400 and body["accepted"] is False
+        status, body = coord._handle_result(
+            "r-a", {"worker": "w1", "outcome": "torn string"})
+        assert status == 400  # claimed no longer; recovery already fired
+        _, body = coord._handle_run_status("r")
+        assert body["counters"]["corrupt_results"] == 1
+        assert body["cells"]["backoff"] == 1
+        # Not claimable until the backoff elapses.
+        _, claim = coord._handle_claim({"worker": "w1"})
+        assert claim["cell"] is None
+        now[0] = 1.0
+        coord._tick()
+        _, claim = coord._handle_claim({"worker": "w1"})
+        assert claim["cell"] == "r-a" and claim["attempt"] == 2
+
+    def test_unknown_cell_result_is_rejected(self):
+        coord = make_coordinator([0.0])
+        _, resp = coord._handle_result("ghost", {"worker": "w",
+                                                 "outcome": {"cell": "ghost"}})
+        assert resp == {"accepted": False, "reason": "unknown-cell"}
+
+    def test_stop_answers_every_claim(self):
+        coord = make_coordinator([0.0])
+        submit(coord, cells=("a",))
+        assert coord._handle_stop()[1] == {"stopping": True}
+        _, claim = coord._handle_claim({"worker": "w1"})
+        assert claim == {"cell": None, "stop": True}
+        _, reg = coord._handle_register({"worker": "w2"}, leaving=False)
+        assert reg["stop"] is True
+
+    def test_cache_endpoints_and_stats(self, tmp_path):
+        now = [0.0]
+        coord = make_coordinator(now, cache_dir=tmp_path / "cache")
+        key = "ab" + "0" * 62
+        assert coord._handle_cache_get(key)[0] == 404
+        status, body = coord._handle_cache_put(
+            key, {"key": key, "payload": {"x": 1}})
+        assert status == 200 and body["stored"] is True
+        status, body = coord._handle_cache_get(key)
+        assert status == 200 and body == {"key": key, "payload": {"x": 1}}
+        # A mismatched or malformed upload is counted, never stored.
+        assert coord._handle_cache_put(key, {"key": "other",
+                                             "payload": {}})[0] == 400
+        assert coord._handle_cache_put(key, {"key": key,
+                                             "payload": [1]})[0] == 400
+        status, stats = coord._handle_stats()
+        assert status == 200 and stats["schema"] == NET_SCHEMA
+        counters = stats["counters"]
+        assert counters["cache_gets"] == 2 and counters["cache_puts"] == 1
+        assert counters["corrupt_cache_puts"] == 2
+        assert stats["cache"]["hit_rate"] == 0.5
+        assert stats["cache"]["root"] == str(tmp_path / "cache")
+
+    def test_cacheless_coordinator_404s_the_cache_api(self):
+        coord = make_coordinator([0.0])
+        assert coord._handle_cache_get("k")[0] == 404
+        assert coord._handle_cache_put("k", {"key": "k", "payload": {}})[0] == 404
+
+
+# --------------------------------------------------------- http parity
+
+
+class TestHttpSweepParity:
+    def test_two_workers_match_serial_bit_for_bit(self, serial_sweep, tmp_path):
+        box = {}
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord-cache") as handle:
+            url = handle.url
+            threads = [start_worker_thread(url, f"w{i}", box, drain=False)
+                       for i in range(2)]
+            result = Sweep(
+                NAMES, structures=("PST",), random_trials=2,
+                backend="http", coordinator_url=url, queue_timeout=120,
+            ).run()
+            request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+            for thread in threads:
+                thread.join(timeout=30)
+        assert result.status == "complete"
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+        executor = result.executor
+        assert executor["backend"] == "http"
+        assert executor["workers"] == 2
+        assert sorted(executor["workers_seen"]) == ["w0", "w1"]
+        assert all(stats.stopped_by == "stop" for stats in box.values())
+        assert sum(stats.cells for stats in box.values()) == len(
+            Sweep(NAMES, structures=("PST",), random_trials=2).cells())
+
+    def test_network_faults_recover_to_bit_identical_parity(
+            self, serial_sweep, tmp_path):
+        set_active_plan(FaultPlan(seed=7, rules=(
+            FaultRule(kind="net-drop", match="POST /api/v1/claim",
+                      attempts=(1,)),
+            FaultRule(kind="net-5xx", match="POST /api/v1/results",
+                      attempts=(1,)),
+            FaultRule(kind="net-corrupt", match="GET /api/v1/runs/*",
+                      attempts=(1,)),
+            FaultRule(kind="net-slow", match="POST /api/v1/heartbeat",
+                      seconds=0.05, attempts=(1,)),
+        )))
+        with CoordinatorHandle(port=0) as handle:
+            url = handle.url
+            threads = [start_worker_thread(url, f"w{i}") for i in range(2)]
+            result = Sweep(
+                NAMES, structures=("PST",), random_trials=2,
+                backend="http", coordinator_url=url, queue_timeout=120,
+            ).run()
+            request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+            for thread in threads:
+                thread.join(timeout=30)
+        assert result.status == "complete"
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+
+    def test_second_run_serves_everything_from_the_remote_tier(self, tmp_path):
+        """A fresh client against a warm coordinator recomputes nothing."""
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord-cache") as handle:
+            url = handle.url
+            threads = [
+                start_worker_thread(url, f"warm{i}",
+                                    cache_dir=tmp_path / f"warm{i}")
+                for i in range(2)
+            ]
+            kwargs = dict(structures=("PST",), random_trials=2,
+                          backend="http", coordinator_url=url, queue_timeout=120)
+            first = Sweep(NAMES, cache=ArtifactCache(tmp_path / "c1"),
+                          **kwargs).run()
+            second = Sweep(NAMES, cache=ArtifactCache(tmp_path / "c2"),
+                           **kwargs).run()
+            request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+            for thread in threads:
+                thread.join(timeout=30)
+        assert normalized(first.to_dict()) == normalized(second.to_dict())
+        assert second.all_cached
+        assert second.uncached_seconds == 0.0
+        assert second.cache_stats["misses"] == 0
+
+    def test_poison_cell_degrades_to_partial_with_quarantine(self, tmp_path):
+        set_active_plan(FaultPlan(seed=1, rules=(
+            FaultRule(kind="stage-error", match="flow:dk512:PST:0",
+                      stage="minimize", attempts=()),
+        )))
+        with CoordinatorHandle(port=0) as handle:
+            url = handle.url
+            thread = start_worker_thread(url, "w0")
+            result = Sweep(
+                NAMES, structures=("PST",), random_trials=2, strict=False,
+                backend="http", coordinator_url=url, queue_timeout=120,
+                max_attempts=3, retry_backoff=0.01,
+            ).run()
+            request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+            thread.join(timeout=30)
+        assert result.status == "partial"
+        assert len(result.failed_cells) == 1
+        failed = result.failed_cells[0]
+        assert (failed["fsm"], failed["structure"]) == ("dk512", "PST")
+        # Two identical error records classify the fault as deterministic.
+        assert failed["attempts"] == 2
+        assert failed["quarantined"].startswith("coordinator:")
+        assert [e["type"] for e in failed["errors"]] == ["ChaosStageError"] * 2
+        assert {r.fsm for r in result.results} == {"ex4"}
+
+    def test_strict_mode_raises_with_attempt_count(self, tmp_path):
+        set_active_plan(FaultPlan(seed=1, rules=(
+            FaultRule(kind="stage-error", match="flow:dk512:PST:0",
+                      stage="minimize", attempts=()),
+        )))
+        with CoordinatorHandle(port=0) as handle:
+            url = handle.url
+            thread = start_worker_thread(url, "w0")
+            try:
+                with pytest.raises(RuntimeError, match=r"after 2 attempt\(s\)"):
+                    Sweep(
+                        ["dk512"], structures=("PST",), random_trials=2,
+                        backend="http", coordinator_url=url, queue_timeout=120,
+                        retry_backoff=0.01,
+                    ).run()
+            finally:
+                request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+                thread.join(timeout=30)
+
+    def test_timeout_names_pending_cells_and_attempts(self):
+        with CoordinatorHandle(port=0) as handle:  # no workers at all
+            executor = HttpExecutor(handle.url, timeout=0.4, poll_interval=0.05)
+            with pytest.raises(TimeoutError) as excinfo:
+                executor.execute([{"cell": "00000-flow-x", "kind": "flow"}])
+        message = str(excinfo.value)
+        assert "1 unfinished cell(s)" in message
+        assert "00000-flow-x [pending, attempt 1]" in message
+
+    def test_empty_task_list_never_touches_the_network(self):
+        report = HttpExecutor("http://127.0.0.1:1").execute([])
+        assert report.outcomes == [] and report.workers == 0
+
+
+# ----------------------------------------------------- worker lifecycle
+
+
+class TestWorkerLifecycle:
+    def test_http_worker_drain_and_max_cells(self, tmp_path):
+        with CoordinatorHandle(port=0) as handle:
+            url = handle.url
+            # Drain with an empty coordinator: immediate graceful exit.
+            stats = run_http_worker(url, worker_id="idle", drain=True,
+                                    poll_interval=0.02)
+            assert stats.stopped_by == "drained" and stats.cells == 0
+
+            box = {}
+            client = threading.Thread(
+                target=lambda: box.setdefault("result", Sweep(
+                    NAMES, structures=("PST",), random_trials=2,
+                    backend="http", coordinator_url=url, queue_timeout=120,
+                ).run()),
+                daemon=True,
+            )
+            client.start()
+            # A capped worker finishes exactly one cell, then exits.
+            capped = run_http_worker(url, worker_id="capped", max_cells=1,
+                                     poll_interval=0.02, max_idle=60.0)
+            assert capped.stopped_by == "max-cells" and capped.cells == 1
+            # A draining worker sweeps up the rest and exits on empty.
+            finisher = run_http_worker(url, worker_id="finisher", drain=True,
+                                       poll_interval=0.02, max_idle=60.0)
+            assert finisher.stopped_by == "drained"
+            client.join(timeout=120)
+        result = box["result"]
+        assert result.status == "complete"
+        assert finisher.cells == len(Sweep(
+            NAMES, structures=("PST",), random_trials=2).cells()) - 1
+
+    def test_http_worker_stop_signal(self):
+        with CoordinatorHandle(port=0) as handle:
+            url = handle.url
+            request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+            stats = run_http_worker(url, worker_id="w0", poll_interval=0.02)
+        assert stats.stopped_by == "stop"
+
+    def test_http_worker_unreachable_coordinator(self):
+        stats = run_http_worker(f"http://127.0.0.1:{free_port()}",
+                                worker_id="w0")
+        assert stats.stopped_by == "coordinator-unreachable"
+        assert stats.cells == 0
+
+    def test_queue_worker_max_cells(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        box = {}
+        client = threading.Thread(
+            target=lambda: box.setdefault("result", Sweep(
+                NAMES, structures=("PST",), random_trials=2,
+                backend=QueueExecutor(queue_dir, lease_timeout=10.0,
+                                      poll_interval=0.02, timeout=120),
+            ).run()),
+            daemon=True,
+        )
+        client.start()
+        capped = run_worker(queue_dir=queue_dir, worker_id="capped",
+                            poll_interval=0.02, max_idle=60.0, max_cells=2)
+        assert capped.stopped_by == "max-cells" and capped.cells == 2
+        finisher = run_worker(queue_dir=queue_dir, worker_id="finisher",
+                              poll_interval=0.02, max_idle=60.0, once=True)
+        client.join(timeout=120)
+        assert box["result"].status == "complete"
+        assert capped.cells + finisher.cells == len(Sweep(
+            NAMES, structures=("PST",), random_trials=2).cells())
+
+
+# --------------------------------------------------------- remote cache
+
+
+class TestRemoteCache:
+    KEY = "ab" + "1" * 62
+
+    def test_read_through_populates_the_local_tier(self, tmp_path):
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            writer = RemoteCache(url, tmp_path / "writer")
+            writer.put(self.KEY, {"stage": "minimize", "v": 1})
+            reader = RemoteCache(url, tmp_path / "reader")
+            assert reader.get(self.KEY) == {"stage": "minimize", "v": 1}
+            assert reader.remote_hits == 1 and reader.hits == 1
+            # Second lookup is a purely local hit.
+            assert reader.get(self.KEY) == {"stage": "minimize", "v": 1}
+            assert reader.remote_hits == 1 and reader.hits == 2
+            # A key nobody wrote misses both tiers.
+            assert reader.get("cd" + "2" * 62) is None
+            assert reader.remote_misses == 1 and reader.misses == 1
+            stats = reader.stats
+            assert stats["remote_hits"] == 1 and stats["remote_misses"] == 1
+
+    def test_warm_prefetches_a_batch(self, tmp_path):
+        keys = [f"{i:02d}" + "3" * 62 for i in range(3)]
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            writer = RemoteCache(url, tmp_path / "writer")
+            for key in keys[:2]:
+                writer.put(key, {"k": key})
+            reader = RemoteCache(url, tmp_path / "reader")
+            assert reader.warm(keys) == 2
+            assert reader._load_local(keys[0]) is not None
+
+    def test_corrupt_download_is_a_counted_miss(self, tmp_path):
+        set_active_plan(FaultPlan(seed=3, rules=(
+            FaultRule(kind="net-corrupt", match="GET /api/v1/cache/*",
+                      attempts=()),
+        )))
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            writer = RemoteCache(url, tmp_path / "writer")
+            writer.put(self.KEY, {"v": 1})
+            reader = RemoteCache(url, tmp_path / "reader", tries=2)
+            assert reader.get(self.KEY) is None
+        assert reader.remote_corrupt == 1
+        assert reader.misses == 1 and reader.hits == 0
+
+    def test_unreachable_coordinator_degrades_to_local(self, tmp_path):
+        cache = RemoteCache(f"http://127.0.0.1:{free_port()}",
+                            tmp_path / "local", timeout=0.5, tries=1)
+        cache.put(self.KEY, {"v": 2})  # remote push fails, local write lands
+        assert cache.remote_errors == 1
+        assert cache.get(self.KEY) == {"v": 2}  # pure local hit, no network
+        assert cache.get("cd" + "4" * 62) is None  # remote miss -> error path
+        assert cache.remote_errors == 2
+        assert cache.misses == 1
+
+    def test_worker_resolves_cache_url_through_remote_tier(self, tmp_path):
+        """run_cell builds a RemoteCache when the task ships a cache_url."""
+        from repro.flow.cells import run_cell
+
+        task = Sweep(NAMES, structures=("PST",),
+                     cache=ArtifactCache(tmp_path / "unused")).cells()[0]
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            shipped = dict(task)
+            shipped["cache_dir"] = str(tmp_path / "worker-local")
+            shipped["cache_url"] = url
+            first = run_cell(shipped, worker="w0")
+            # A second worker with a fresh local dir hits the remote tier.
+            shipped2 = dict(shipped)
+            shipped2["cache_dir"] = str(tmp_path / "worker-local-2")
+            second = run_cell(shipped2, worker="w1")
+
+        def strip_timing(outcome):
+            result = json.loads(json.dumps(outcome["result"]))
+            result.pop("total_seconds", None)
+            for stage in result.get("stages", []):
+                stage.pop("seconds", None)
+                stage.pop("cached", None)
+            return result
+
+        assert strip_timing(first) == strip_timing(second)
+        assert second["cache_stats"]["hits"] > 0
+        assert second["cache_stats"]["remote_hits"] > 0
+
+
+# ------------------------------------------- cache stats + table rows
+
+
+class TestCacheStatsReporting:
+    def test_corrupt_artifact_is_counted_and_dropped(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "ab" + "5" * 62
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("{torn json")
+        assert cache.get(key) is None
+        assert cache.stats == {"hits": 0, "misses": 1, "writes": 1,
+                               "evictions": 0, "corrupt": 1}
+        assert not cache.path_for(key).exists()
+        # Non-dict JSON gets the same treatment.
+        cache.put(key, {"v": 1})
+        cache.path_for(key).write_text("[1, 2]")
+        assert cache.get(key) is None
+        assert cache.stats["corrupt"] == 2
+
+    def test_evictions_are_counted(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=0)
+        cache.put("ab" + "6" * 62, {"v": 1})
+        assert cache.stats["evictions"] >= 1
+        assert len(cache) == 0
+
+    def test_cache_hit_rate(self):
+        assert cache_hit_rate({"hits": 0, "misses": 0}) is None
+        assert cache_hit_rate({"hits": 3, "misses": 1}) == 0.75
+        assert cache_hit_rate({}) is None
+
+    def test_cache_stats_rows_render_rates_and_optional_counters(self):
+        rows = cache_stats_rows({"hits": 3, "misses": 1, "writes": 1,
+                                 "evictions": 0, "corrupt": 0})
+        as_map = {row[0]: row[1] for row in rows}
+        assert as_map["cache hits / misses / writes"] == "3 / 1 / 1"
+        assert as_map["cache hit rate"] == "75.0%"
+        assert "cache evictions" not in as_map
+        rows = cache_stats_rows({
+            "hits": 0, "misses": 0, "writes": 0, "evictions": 2, "corrupt": 1,
+            "remote_hits": 4, "remote_misses": 2, "remote_corrupt": 1,
+            "remote_errors": 3,
+        })
+        as_map = {row[0]: row[1] for row in rows}
+        assert as_map["cache hit rate"] == "n/a"
+        assert as_map["remote hits / misses"] == "4 / 2"
+        assert as_map["corrupt remote downloads (served as misses)"] == 1
+        assert as_map["remote cache errors (degraded to local)"] == 3
+        assert as_map["cache evictions"] == 2
+        assert as_map["corrupt cache entries dropped"] == 1
+
+    def test_sweep_executor_rows_include_coordinator_and_hit_rate(self):
+        rows = sweep_executor_rows({
+            "executor": {"backend": "http", "workers": 2,
+                         "coordinator_url": "http://127.0.0.1:8520",
+                         "workers_seen": ["w0", "w1"]},
+            "cache_stats": {"hits": 2, "misses": 2, "writes": 2,
+                            "evictions": 0, "corrupt": 0},
+        })
+        as_map = {row[0]: row[1] for row in rows}
+        assert as_map["coordinator"] == "http://127.0.0.1:8520"
+        assert as_map["cache hit rate"] == "50.0%"
+
+    def test_cli_cache_stats_reports_hit_rate(self, tmp_path, capsys):
+        cache = ArtifactCache(tmp_path)
+        cache.put("ab" + "7" * 62, {"v": 1})
+        exit_code = main(["cache", "stats", "--cache-dir", str(tmp_path),
+                          "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # A fresh CLI session sees the stored artifact but starts its own
+        # hit/miss counters at zero.
+        assert payload["artifacts"] == 1
+        assert payload["total_bytes"] > 0
+        assert payload["writes"] == 0
+        assert payload["hit_rate"] is None
+
+    def test_cli_cache_remote_stats(self, tmp_path, capsys):
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            writer = RemoteCache(url, tmp_path / "w")
+            writer.put("ab" + "8" * 62, {"v": 1})
+            writer.get("cd" + "9" * 62)  # one remote miss
+            exit_code = main(["cache", "stats", "--url", url, "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["url"] == url
+        assert payload["writes"] == 1
+        assert payload["misses"] == 1
+        assert main(["cache", "clear", "--url", "http://127.0.0.1:1"]) == 2
+
+
+# ------------------------------------------------------------ live stats
+
+
+class TestLiveCoordinatorStats:
+    def test_stats_endpoint_over_http(self, tmp_path):
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            stats = request_with_retry(f"{url}/api/v1/stats", "GET", tries=3)
+            check_schema(stats)
+            assert stats["runs"] == {"active": 0}
+            assert stats["stopping"] is False
+            assert stats["cache"]["root"] == str(tmp_path / "coord")
+            # The bare /stats alias serves the same document.
+            alias = request_with_retry(f"{url}/stats", "GET", tries=3)
+            assert alias["schema"] == NET_SCHEMA
+            with pytest.raises(NotFoundError):
+                request(f"{url}/api/v1/nope", timeout=5.0)
