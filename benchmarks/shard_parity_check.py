@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""CI shard-parity gate: sharded fault simulation must stay bit-identical.
+
+This script is the blocking ``shard-parity`` CI job: a self-contained
+exercise of the sharded faultsim stage against *real* ``repro worker``
+subprocesses on the queue backend.  It runs four checks:
+
+1. **Chaos parity** — a sweep with ``faultsim_shards=N`` distributed over
+   two workers, with a seeded :class:`repro.flow.FaultPlan` killing one
+   worker mid-shard (``os._exit``, no unwind); the lease expires, only
+   the dead shard is requeued (its siblings' artifacts survive in the
+   shared cache), and the merged sweep must be *bit-identical* to the
+   unsharded serial baseline.
+2. **Shard fan-out** — the executor metadata must show the shard
+   sub-cells actually ran (``shards`` block, per-worker shard counts,
+   the injected requeue).
+3. **Cache reuse** — a second sharded run against the warm cache must
+   serve every shard artifact without simulating anything.
+4. **Scaling measurement** — wall-clock of the unsharded serial faultsim
+   stage vs the sharded distributed run, written to the JSON report.
+   The timing is informational (CI hardware varies); only parity and
+   cache behaviour gate the job.
+
+Usage::
+
+    python benchmarks/shard_parity_check.py --out BENCH_shard_faultsim.json
+
+Exit code 0 when every check passes; 1 with a diagnostic otherwise.  The
+JSON report (written even on failure) is uploaded as a CI artifact and is
+the measured-scaling source for the ROADMAP Performance notes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.flow import (  # noqa: E402  (path bootstrap above)
+    ArtifactCache,
+    FaultPlan,
+    FaultRule,
+    FlowConfig,
+    QueueExecutor,
+    Sweep,
+)
+
+NAMES = ["dk512", "ex4"]
+SHARDS = 4
+WORKERS = 2
+#: Faultsim knobs sized so the stage dominates the cell without making
+#: the CI job slow: every machine simulates the same pattern budget.
+FAULT_KNOBS = dict(fault_patterns=192, word_width=64, fault_seed=1991)
+
+
+def normalized(sweep: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip timing/executor metadata *and* the shard knob; everything
+    left must be bit-identical between sharded and unsharded runs."""
+    data = json.loads(json.dumps(sweep))
+    for key in ("total_seconds", "executor", "cache_stats"):
+        data.pop(key, None)
+    data.get("config", {}).pop("faultsim_shards", None)
+    for result in data["results"]:
+        result.pop("total_seconds", None)
+        result.get("config", {}).pop("faultsim_shards", None)
+        for stage in result["stages"]:
+            stage.pop("seconds", None)
+            stage.pop("cached", None)
+    for baseline in data.get("baselines", {}).values():
+        for key in ("seconds", "lookup_seconds", "cached"):
+            baseline.pop(key, None)
+    return data
+
+
+def first_difference(a: Any, b: Any, path: str = "$") -> str:
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key}: present on one side only"
+            if a[key] != b[key]:
+                return first_difference(a[key], b[key], f"{path}.{key}")
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for index, (left, right) in enumerate(zip(a, b)):
+            if left != right:
+                return first_difference(left, right, f"{path}[{index}]")
+    return f"{path}: {a!r} != {b!r}"
+
+
+def faultsim_seconds(sweep: Dict[str, Any]) -> float:
+    """Wall-clock the serialized sweep spent inside its faultsim stages."""
+    return sum(
+        stage.get("seconds", 0.0)
+        for result in sweep["results"]
+        for stage in result["stages"]
+        if stage["name"] == "faultsim"
+    )
+
+
+def spawn_worker(work: Path, queue_dir: Path, worker_id: str,
+                 plan_path: Path) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"),
+               REPRO_CHAOS=str(plan_path))
+    log = open(work / f"{worker_id}.log", "w")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", str(queue_dir),
+         "--worker-id", worker_id, "--poll-interval", "0.02",
+         "--lease-timeout", "2.0", "--max-idle", "300", "--quiet"],
+        env=env, stdout=log, stderr=subprocess.STDOUT,
+    )
+
+
+def check(report: Dict[str, Any], name: str, ok: bool, detail: str) -> bool:
+    report["checks"].append({"name": name, "ok": bool(ok), "detail": detail})
+    print(f"{'PASS' if ok else 'FAIL'}: {name} — {detail}")
+    return bool(ok)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_shard_faultsim.json",
+                        help="JSON report path (CI artifact)")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args()
+
+    work = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp(
+        prefix="repro-shards-"))
+    work.mkdir(parents=True, exist_ok=True)
+    report: Dict[str, Any] = {
+        "schema": "repro.shard-bench/1",
+        "checks": [],
+        "cpu_count": os.cpu_count(),
+        "machines": NAMES,
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "config": dict(FAULT_KNOBS),
+    }
+    ok = True
+    print(f"shard scratch directory: {work}")
+
+    base_config = FlowConfig(**FAULT_KNOBS)
+    sharded_config = FlowConfig(faultsim_shards=SHARDS, **FAULT_KNOBS)
+
+    # ---- baseline: unsharded, serial, cold cache -----------------------
+    started = time.perf_counter()
+    serial = Sweep(NAMES, structures=("PST",), config=base_config,
+                   cache=ArtifactCache(work / "serial-cache")).run()
+    serial_wall = time.perf_counter() - started
+    serial_dict = serial.to_dict()
+    serial_norm = normalized(serial_dict)
+
+    # ---- sharded queue run under a mid-shard worker kill ---------------
+    plan = FaultPlan(seed=1991, rules=(
+        FaultRule(kind="worker-crash",
+                  match=f"faultsim-shard:dk512:PST:0:1/{SHARDS}",
+                  attempts=(1,)),
+    ))
+    plan_path = work / "chaos_plan.json"
+    plan.save(plan_path)
+    report["chaos_plan"] = plan.to_dict()
+
+    queue_dir = work / "queue"
+    shared_cache = work / "shared-cache"
+    procs = [spawn_worker(work, queue_dir, f"shard{i}", plan_path)
+             for i in range(WORKERS)]
+    started = time.perf_counter()
+    try:
+        sharded = Sweep(
+            NAMES, structures=("PST",), config=sharded_config,
+            cache=ArtifactCache(shared_cache),
+            backend=QueueExecutor(queue_dir, lease_timeout=2.0,
+                                  poll_interval=0.02, timeout=300),
+            retry_backoff=0.05,
+        ).run()
+    finally:
+        queue_dir.mkdir(exist_ok=True)
+        (queue_dir / "stop").touch()
+        codes = [proc.wait(timeout=60) for proc in procs]
+    sharded_wall = time.perf_counter() - started
+    sharded_dict = sharded.to_dict()
+    executor = sharded_dict["executor"]
+    report["worker_exit_codes"] = codes
+    report["executor"] = {
+        "backend": executor.get("backend"),
+        "workers_seen": executor.get("workers_seen"),
+        "cells_requeued": executor.get("cells_requeued"),
+        "shards": executor.get("shards"),
+    }
+
+    ok &= check(report, "worker-crash-injected", 17 in codes,
+                f"worker exit codes {codes} (17 = injected mid-shard kill)")
+    ok &= check(report, "sharded-complete", sharded.status == "complete",
+                f"status {sharded.status!r}")
+    sharded_norm = normalized(sharded_dict)
+    parity = sharded_norm == serial_norm
+    detail = "sharded queue sweep bit-identical to unsharded serial baseline"
+    if not parity:
+        detail = f"first difference: {first_difference(serial_norm, sharded_norm)}"
+    ok &= check(report, "shard-parity", parity, detail)
+    ok &= check(report, "shard-requeued",
+                executor.get("cells_requeued", 0) >= 1,
+                f"cells_requeued={executor.get('cells_requeued')}")
+    shards_block = executor.get("shards") or {}
+    shard_cells: List[Dict[str, Any]] = [
+        cell for cell in executor.get("cells", [])
+        if cell.get("kind") == "faultsim-shard"
+    ]
+    ok &= check(report, "shard-fanout",
+                shards_block.get("cells") == len(NAMES) * SHARDS
+                and len(shard_cells) == len(NAMES) * SHARDS
+                and shards_block.get("failed_parents") == 0,
+                f"shards block {shards_block}")
+
+    # ---- warm run: every shard artifact served from the cache ----------
+    warm = Sweep(NAMES, structures=("PST",), config=sharded_config,
+                 cache=ArtifactCache(shared_cache)).run()
+    warm_shards = [cell for cell in warm.to_dict()["executor"]["cells"]
+                   if cell.get("kind") == "faultsim-shard"]
+    ok &= check(report, "shard-cache-reuse",
+                warm.all_cached and warm.cache_stats.get("writes", 1) == 0
+                and warm_shards and all(c["cached"] for c in warm_shards),
+                f"all_cached={warm.all_cached} "
+                f"writes={warm.cache_stats.get('writes')} "
+                f"cached_shards={sum(bool(c['cached']) for c in warm_shards)}"
+                f"/{len(warm_shards)}")
+
+    # ---- scaling measurement (informational, not a gate) ---------------
+    serial_faultsim = faultsim_seconds(serial_dict)
+    report["timings"] = {
+        "serial_wall_seconds": round(serial_wall, 3),
+        "sharded_wall_seconds": round(sharded_wall, 3),
+        "serial_faultsim_seconds": round(serial_faultsim, 3),
+        "merge_faultsim_seconds": round(faultsim_seconds(sharded_dict), 3),
+        "wall_speedup": round(serial_wall / sharded_wall, 3)
+        if sharded_wall else None,
+    }
+    print(f"timing: serial wall {serial_wall:.2f}s "
+          f"(faultsim {serial_faultsim:.2f}s), sharded wall "
+          f"{sharded_wall:.2f}s over {WORKERS} worker(s) x {SHARDS} shards, "
+          f"speedup x{report['timings']['wall_speedup']}")
+
+    report["ok"] = bool(ok)
+    Path(args.out).write_text(json.dumps(report, indent=2))
+    print(f"report written to {args.out}")
+    if not ok:
+        print("SHARD PARITY CHECK FAILED", file=sys.stderr)
+        return 1
+    print("shard parity check passed: sharded faultsim is bit-identical "
+          "under a mid-shard worker kill and fully cache-resumable")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

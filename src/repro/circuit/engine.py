@@ -47,9 +47,97 @@ from .simulate import StuckAtFault
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
     from .faults import FaultSimulationResult
 
-__all__ = ["CompiledFaultEngine"]
+__all__ = ["CompiledFaultEngine", "merge_shard_detections", "partition_faults"]
 
 Op = Callable[[List[int]], None]
+
+
+def partition_faults(
+    faults: Sequence[StuckAtFault], shard_count: int
+) -> List[List[StuckAtFault]]:
+    """Deterministic, shard-count-stable partition of a fault list.
+
+    Returns exactly ``shard_count`` contiguous slices whose sizes differ by
+    at most one (the first ``len(faults) % shard_count`` shards take the
+    extra fault); concatenating the shards in order reproduces the input
+    list exactly.  Both the local process-pool sharding
+    (:meth:`CompiledFaultEngine.run` with ``jobs > 1``) and the distributed
+    ``faultsim_shards`` sub-cells of the flow layer partition through this
+    one function, so shard membership provably agrees everywhere for a
+    given ``(fault list, shard_count)`` — which is what lets a shard
+    artifact be addressed by nothing more than ``shard_index/shard_count``.
+
+    Shards may be empty when ``shard_count`` exceeds the fault count; every
+    fault's simulation is independent, so the merged result is identical at
+    every shard count (see :func:`merge_shard_detections`).
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    total = len(faults)
+    base, extra = divmod(total, shard_count)
+    shards: List[List[StuckAtFault]] = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(faults[start:start + size]))
+        start += size
+    return shards
+
+
+def merge_shard_detections(
+    shard_detections: Sequence[Mapping[str, int]],
+    *,
+    total_faults: int,
+    n_cycles: int,
+    lane_masks: Sequence[int],
+    stop_when_all_detected: bool = True,
+) -> "FaultSimulationResult":
+    """Merge per-shard detection cycles into one complete result.
+
+    ``shard_detections`` are the ``detection_cycle`` mappings of disjoint
+    fault-list shards (see :func:`partition_faults`) simulated over the
+    *same* input sequence.  Per-fault detection cycles are independent of
+    shard boundaries, so the union plus the engine's own
+    cycles/patterns-accounting tail reconstructs a
+    :class:`~repro.circuit.faults.FaultSimulationResult` bit-identical to
+    an unsharded run — including the coverage curve, which derives purely
+    from the merged detection cycles.
+
+    ``n_cycles`` and ``lane_masks`` describe the simulated sequence (one
+    mask of valid pattern lanes per input word); ``total_faults`` is the
+    size of the *full* fault list, which the early-stopping rule needs to
+    decide whether every fault was detected.
+    """
+    from .faults import FaultSimulationResult
+
+    if len(lane_masks) < n_cycles:
+        raise ValueError("lane_masks must provide one mask per input word")
+    result = FaultSimulationResult(total_faults=total_faults)
+    if n_cycles == 0:
+        return result
+    masks = list(lane_masks[:n_cycles])
+    if total_faults == 0:
+        # Match the engine (and the legacy loop) exactly: with early
+        # stopping the first cycle still executes before the empty fault
+        # list is noticed.
+        cycles = 1 if stop_when_all_detected else n_cycles
+        result.cycles_simulated = cycles
+        result.patterns_simulated = sum(bin(m).count("1") for m in masks[:cycles])
+        return result
+    detection: Dict[str, int] = {}
+    for shard in shard_detections:
+        detection.update(shard)
+    for key, cycle in detection.items():
+        result.detected.add(key)
+        result.detection_cycle[key] = cycle
+    if stop_when_all_detected and len(detection) == total_faults:
+        result.cycles_simulated = max(detection.values()) if detection else 0
+    else:
+        result.cycles_simulated = n_cycles
+    result.patterns_simulated = sum(
+        bin(masks[c]).count("1") for c in range(result.cycles_simulated)
+    )
+    return result
 
 
 def _const_op(out: int, value: int) -> Op:
@@ -472,9 +560,7 @@ class CompiledFaultEngine:
         the shard boundaries.
         """
         shards = min(jobs, len(fault_list))
-        chunks: List[List[StuckAtFault]] = [[] for _ in range(shards)]
-        for i, fault in enumerate(fault_list):
-            chunks[i % shards].append(fault)
+        chunks = partition_faults(fault_list, shards)
         seq = [dict(inputs) for inputs in input_sequence]
         masks = list(lane_masks) if lane_masks is not None else None
         init = dict(initial_state) if initial_state is not None else None

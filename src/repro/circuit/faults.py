@@ -50,7 +50,27 @@ __all__ = [
     "FaultSimulator",
     "FaultSimulationResult",
     "random_input_words",
+    "random_pattern_lane_masks",
 ]
+
+
+def random_pattern_lane_masks(pattern_count: int, word_width: int) -> Tuple[int, List[int]]:
+    """Word count and per-word lane masks for a random-pattern run.
+
+    Returns ``(words, lane_masks)`` exactly as
+    :meth:`FaultSimulator.coverage_for_random_patterns` derives them: full
+    words except a final partial word whose invalid lanes are masked out.
+    Exposed so shard merging (:func:`repro.circuit.engine.merge_shard_detections`)
+    can reconstruct the cycles/patterns accounting of an unsharded run
+    without re-simulating anything.  ``(0, [])`` when ``pattern_count <= 0``.
+    """
+    if pattern_count <= 0:
+        return 0, []
+    words = (pattern_count + word_width - 1) // word_width
+    final_lanes = pattern_count - (words - 1) * word_width
+    final_mask = (1 << final_lanes) - 1
+    lane_masks = [(1 << word_width) - 1] * (words - 1) + [final_mask]
+    return words, lane_masks
 
 
 def _fanout_counts(netlist: Netlist) -> Dict[str, int]:
@@ -371,14 +391,12 @@ class FaultSimulator:
         """
         if pattern_count <= 0:
             return self.run([], faults=faults, observe=observe)
-        words = (pattern_count + self.word_width - 1) // self.word_width
+        words, lane_masks = random_pattern_lane_masks(pattern_count, self.word_width)
         sequence = random_input_words(
             self.netlist.primary_inputs, words, self.word_width, seed=seed
         )
-        final_lanes = pattern_count - (words - 1) * self.word_width
-        final_mask = (1 << final_lanes) - 1
-        lane_masks = [(1 << self.word_width) - 1] * (words - 1) + [final_mask]
-        if final_lanes < self.word_width:
+        final_mask = lane_masks[-1]
+        if final_mask != (1 << self.word_width) - 1:
             sequence[-1] = {name: word & final_mask for name, word in sequence[-1].items()}
         return self.run(
             sequence,

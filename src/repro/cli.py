@@ -36,7 +36,8 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
   gracefully after finishing in-flight work),
 * ``repro fsck queue-dir`` — audit (``--repair``: fix) the invariants of a
   work-queue directory: leftover temp files, corrupt payloads, orphaned or
-  duplicated claims, stale worker registrations,
+  duplicated claims, stale worker registrations, orphaned faultsim shard
+  artifacts,
 * ``repro cache stats|clear|gc`` — inspect, empty or size-bound an artifact
   cache directory (LRU eviction by last use),
 * ``repro lint`` — run the AST invariant linter (determinism, digest
@@ -52,7 +53,10 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
 shared ``--queue-dir`` serviced by any number of ``repro worker``
 processes, the http backend through a ``repro serve`` coordinator named
 by ``--coordinator-url``, and both are bit-identical to the serial
-backend at every worker count.
+backend at every worker count.  ``--faultsim-shards N`` additionally
+splits each cell's faultsim stage into ``N`` content-addressed shard
+sub-cells the chosen backend schedules like ordinary cells — the merged
+result is bit-identical at every shard count.
 
 Invoke as ``python -m repro ...`` (an entry point is intentionally avoided so
 the offline editable install stays trivial).

@@ -1,9 +1,11 @@
 """Execution of one sweep cell from its serializable payload.
 
 A *cell* is the unit of sweep work: one ``(machine, structure, seed)``
-flow run or one Table 2 random-encoding baseline, shipped as a plain
+flow run, one Table 2 random-encoding baseline, or one fault-range shard
+of a flow cell's faultsim stage (``faultsim-shard``), shipped as a plain
 JSON-safe dictionary (machine name, KISS2 text, declared state order,
-config dict, optional cache directory).  :func:`run_cell` turns a payload
+config dict, optional cache directory; shard cells add
+``shard_index``/``shard_count``/``parent_cell``).  :func:`run_cell` turns a payload
 back into real work — it is the single entry point every executor backend
 (in-process, process pool, work-queue worker daemon) funnels through, so
 all of them produce bit-identical results by construction.
@@ -11,7 +13,7 @@ all of them produce bit-identical results by construction.
 The returned *outcome* is itself JSON-safe::
 
     {
-        "kind": "flow" | "baseline",
+        "kind": "flow" | "baseline" | "faultsim-shard",
         "cell": "<cell id>",             # passthrough from the payload
         "result": {...},                 # FlowResult / BaselineResult dict
         "worker": "<worker id>",         # who ran it (executor-assigned)
@@ -42,7 +44,7 @@ from ..fsm.machine import FSM
 from . import chaos
 from .cache import ArtifactCache, artifact_key
 from .config import FlowConfig
-from .pipeline import fsm_digest, run_flow
+from .pipeline import fsm_digest, run_faultsim_shard, run_flow
 
 __all__ = [
     "BaselineResult",
@@ -230,6 +232,22 @@ def run_cell(
     hook = _stage_hook_for(task, attempt)
     if task["kind"] == "flow":
         result = run_flow(fsm, config, cache=cache, stage_hook=hook).to_dict()
+    elif task["kind"] == "faultsim-shard":
+        # One fault-range shard of a parent flow cell's faultsim stage.
+        # The detection data itself travels through the content-addressed
+        # cache (shared queue dir / coordinator tier), not the outcome —
+        # the parent cell's merge finds it by shard artifact key.
+        payload, cached = run_faultsim_shard(
+            fsm, config, cache=cache,
+            shard_index=int(task["shard_index"]), stage_hook=hook,
+        )
+        result = {
+            "shard_index": int(task["shard_index"]),
+            "shard_count": int(task["shard_count"]),
+            "parent_cell": task.get("parent_cell"),
+            "cached": cached,
+            "metrics": payload["metrics"],
+        }
     else:
         if hook is not None:
             # Baselines are a single stage; one boundary check suffices.

@@ -74,6 +74,7 @@ _FAULTSIM_KEYS = _MINIMIZE_KEYS + (
     "fault_patterns",
     "fault_seed",
     "fault_collapse",
+    "faultsim_shards",
 )
 
 _STAGE_KEYS: Dict[str, Tuple[str, ...]] = {
@@ -101,6 +102,9 @@ class FlowConfig:
     ``fault_collapse`` configure the optional fault-simulation stage, and
     ``structure`` names the BIST target (``"DFF"``, ``"PAT"``, ``"SIG"`` or
     ``"PST"``).  ``fault_patterns=None`` skips the fault-simulation stage.
+    ``faultsim_shards`` splits the faultsim stage into that many
+    content-addressed shard sub-cells (the partition is shard-count-stable
+    and the merge bit-identical; sweeps schedule shards across workers).
     """
 
     structure: str = "PST"
@@ -120,6 +124,7 @@ class FlowConfig:
     fault_patterns: Optional[int] = None
     fault_seed: int = 0
     fault_collapse: bool = False
+    faultsim_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.structure not in _VALID_STRUCTURES:
@@ -143,6 +148,8 @@ class FlowConfig:
             raise ValueError("word_width must be >= 1")
         if self.fault_patterns is not None and self.fault_patterns < 0:
             raise ValueError("fault_patterns must be >= 0")
+        if self.faultsim_shards < 1:
+            raise ValueError("faultsim_shards must be >= 1")
 
     # ------------------------------------------------------------- transforms
     @property
@@ -254,6 +261,11 @@ def add_flow_arguments(
                         help="pattern lanes per simulated word")
     parser.add_argument("--engine", choices=list(_VALID_FAULT_ENGINES), default="compiled",
                         help="fault-simulation back end")
+    parser.add_argument("--faultsim-shards", type=int, default=1,
+                        help="split the faultsim stage into this many "
+                             "content-addressed shard sub-cells (sweeps "
+                             "schedule them across workers; merged result "
+                             "is bit-identical at every shard count)")
     parser.add_argument("--cache-dir", default=None,
                         help="artifact-cache directory (content-addressed; reruns "
                              "skip unchanged stages)")

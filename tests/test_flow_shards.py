@@ -1,0 +1,646 @@
+"""Tests for the sharded fault-simulation stage: the shard-count-stable
+fault partition, the deterministic detection merge, the content-addressed
+shard artifacts and the two-phase sweep that schedules ``faultsim-shard``
+sub-cells across every executor backend.
+
+The contract under test is *bit-identity*: a sweep run with
+``faultsim_shards=N`` must merge to exactly the unsharded result — same
+metrics, same coverage curve — at every shard count, on every backend,
+and through the full failure model (a crashed shard worker retries, a
+poisoned shard fails only its parent cell).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.bist import BISTStructure, synthesize
+from repro.circuit import (
+    FaultSimulator,
+    enumerate_faults,
+    netlist_from_controller,
+)
+from repro.circuit.engine import merge_shard_detections, partition_faults
+from repro.circuit.faults import random_pattern_lane_masks
+from repro.flow import (
+    ArtifactCache,
+    CoordinatorHandle,
+    FaultPlan,
+    FaultRule,
+    FlowConfig,
+    QueueExecutor,
+    RetryPolicy,
+    Sweep,
+    WorkerStats,
+    artifact_key,
+    fsck_queue,
+    run_faultsim_shard,
+    run_flow,
+    run_http_worker,
+    run_worker,
+    set_active_plan,
+    shard_artifact_key,
+)
+from repro.flow.backends.queue import ensure_queue_dirs, sign_payload, write_json_atomic
+from repro.flow.chaos import cell_label
+from repro.flow.net import NET_SCHEMA
+from repro.flow.net.coordinator import Coordinator
+from repro.reporting import sweep_cell_rows, sweep_executor_rows
+
+NAMES = ["dk512", "ex4"]
+
+#: Faultsim knobs shared by every parity test: small enough to stay fast,
+#: word_width=16 with 48 patterns spans several input words.
+FAULT_KNOBS = dict(fault_patterns=48, word_width=16, fault_seed=7)
+BASE = FlowConfig(**FAULT_KNOBS)
+SHARDED = FlowConfig(faultsim_shards=3, **FAULT_KNOBS)
+
+
+def normalized(sweep_dict: dict) -> dict:
+    """Strip timing/worker metadata *and* the shard knob; everything left
+    must be bit-identical between sharded and unsharded sweeps."""
+    data = json.loads(json.dumps(sweep_dict))
+    for key in ("total_seconds", "executor", "cache_stats"):
+        data.pop(key, None)
+    data.get("config", {}).pop("faultsim_shards", None)
+    for result in data["results"]:
+        result.pop("total_seconds", None)
+        result.get("config", {}).pop("faultsim_shards", None)
+        for stage in result["stages"]:
+            stage.pop("seconds", None)
+            stage.pop("cached", None)
+    for baseline in data.get("baselines", {}).values():
+        for key in ("seconds", "lookup_seconds", "cached"):
+            baseline.pop(key, None)
+    return data
+
+
+def flow_normalized(result) -> dict:
+    data = json.loads(json.dumps(result.to_dict()))
+    data.pop("total_seconds", None)
+    data.get("config", {}).pop("faultsim_shards", None)
+    for stage in data["stages"]:
+        stage.pop("seconds", None)
+        stage.pop("cached", None)
+    return data
+
+
+def start_queue_worker(queue_dir: Path, worker_id: str, box: dict = None,
+                       **kwargs) -> threading.Thread:
+    kwargs.setdefault("poll_interval", 0.02)
+    kwargs.setdefault("max_idle", 60.0)
+
+    def run():
+        stats = run_worker(queue_dir=queue_dir, worker_id=worker_id, **kwargs)
+        if box is not None:
+            box[worker_id] = stats
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def start_http_worker(url: str, worker_id: str, box: dict = None,
+                      **kwargs) -> threading.Thread:
+    kwargs.setdefault("poll_interval", 0.02)
+    kwargs.setdefault("max_idle", 60.0)
+
+    def run():
+        stats = run_http_worker(url, worker_id=worker_id, **kwargs)
+        if box is not None:
+            box[worker_id] = stats
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    """Unsharded serial baseline every backend's sharded run must match."""
+    return Sweep(NAMES, structures=("PST",), config=BASE).run()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    set_active_plan(None)
+
+
+# ------------------------------------------------------------- partition
+
+
+class TestPartitionFaults:
+    def _faults(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        return enumerate_faults(netlist_from_controller(controller))
+
+    def test_partition_is_balanced_and_order_stable(self, small_controller):
+        faults = self._faults(small_controller)
+        for count in (1, 2, 3, 7):
+            chunks = partition_faults(faults, count)
+            assert len(chunks) == count
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+            # Contiguous slices in enumeration order: the concatenation is
+            # the original list, so the assignment is shard-count-stable.
+            merged = [fault for chunk in chunks for fault in chunk]
+            assert merged == list(faults)
+
+    def test_more_shards_than_faults_yields_empty_tails(self):
+        chunks = partition_faults(["f0", "f1"], 5)
+        assert chunks == [["f0"], ["f1"], [], [], []]
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            partition_faults([], 0)
+
+
+# ----------------------------------------------------------------- merge
+
+
+class TestMergeShardDetections:
+    def test_merge_matches_direct_engine_run(self, small_controller):
+        """Partition, simulate each shard independently, merge: the result
+        dict (coverage curve included) equals the single full run."""
+        controller = synthesize(small_controller, BISTStructure.PST)
+        net = netlist_from_controller(controller)
+        faults = enumerate_faults(net)
+        simulator = FaultSimulator(net, word_width=16)
+        patterns = 60  # 3 full 16-lane words + a 12-lane partial word
+        full = simulator.coverage_for_random_patterns(patterns, seed=3)
+        n_cycles, lane_masks = random_pattern_lane_masks(patterns, 16)
+        for count in (1, 2, 3):
+            chunks = partition_faults(faults, count)
+            shard_runs = [
+                simulator.coverage_for_random_patterns(
+                    patterns, seed=3, faults=chunk
+                )
+                for chunk in chunks
+            ]
+            merged = merge_shard_detections(
+                [dict(run.detection_cycle) for run in shard_runs],
+                total_faults=len(faults),
+                n_cycles=n_cycles,
+                lane_masks=lane_masks,
+            )
+            assert merged.to_dict() == full.to_dict()
+
+    def test_empty_fault_list_matches_engine(self, small_controller):
+        controller = synthesize(small_controller, BISTStructure.PST)
+        net = netlist_from_controller(controller)
+        simulator = FaultSimulator(net, word_width=16)
+        direct = simulator.coverage_for_random_patterns(40, seed=1, faults=[])
+        n_cycles, lane_masks = random_pattern_lane_masks(40, 16)
+        merged = merge_shard_detections(
+            [], total_faults=0, n_cycles=n_cycles, lane_masks=lane_masks
+        )
+        assert merged.to_dict() == direct.to_dict()
+
+    def test_early_stop_accounting(self):
+        # All 3 faults detected by cycle 2: the merged run stops there and
+        # bills only the patterns of the first two words.
+        merged = merge_shard_detections(
+            [{"a": 1, "b": 2}, {"c": 2}],
+            total_faults=3, n_cycles=4,
+            lane_masks=[0xFFFF, 0xFFFF, 0xFFFF, 0x0FFF],
+        )
+        assert merged.cycles_simulated == 2
+        assert merged.patterns_simulated == 32
+        assert merged.detection_cycle == {"a": 1, "b": 2, "c": 2}
+
+    def test_incomplete_detection_runs_every_cycle(self):
+        merged = merge_shard_detections(
+            [{"a": 1}], total_faults=2, n_cycles=3,
+            lane_masks=[0xFFFF, 0xFFFF, 0x0FFF],
+        )
+        assert merged.cycles_simulated == 3
+        assert merged.patterns_simulated == 16 + 16 + 12
+        assert merged.detected == {"a"}
+
+    def test_zero_cycles_is_an_empty_result(self):
+        merged = merge_shard_detections([], total_faults=5, n_cycles=0,
+                                        lane_masks=[])
+        assert merged.cycles_simulated == 0
+        assert merged.patterns_simulated == 0
+
+    def test_short_lane_masks_rejected(self):
+        with pytest.raises(ValueError, match="lane_masks"):
+            merge_shard_detections([], total_faults=1, n_cycles=2,
+                                   lane_masks=[0xFF])
+
+
+class TestRandomPatternLaneMasks:
+    def test_partial_final_word(self):
+        n_cycles, masks = random_pattern_lane_masks(40, 16)
+        assert n_cycles == 3
+        assert masks == [0xFFFF, 0xFFFF, (1 << 8) - 1]
+
+    def test_exact_multiple(self):
+        n_cycles, masks = random_pattern_lane_masks(32, 16)
+        assert n_cycles == 2
+        assert masks == [0xFFFF, 0xFFFF]
+
+    def test_zero_patterns(self):
+        assert random_pattern_lane_masks(0, 16) == (0, [])
+
+
+# --------------------------------------------------------- shard addresses
+
+
+class TestShardArtifactKey:
+    DIGEST = "ab" + "0" * 62
+
+    def test_distinct_per_index_count_and_parent(self):
+        parent = artifact_key(self.DIGEST, "faultsim", "cfg")
+        keys = {
+            shard_artifact_key(self.DIGEST, "faultsim", "cfg", i, 3)
+            for i in range(3)
+        }
+        keys.add(shard_artifact_key(self.DIGEST, "faultsim", "cfg", 0, 2))
+        assert len(keys) == 4
+        assert parent not in keys
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            shard_artifact_key(self.DIGEST, "faultsim", "cfg", 0, 0)
+        with pytest.raises(ValueError, match="shard_index"):
+            shard_artifact_key(self.DIGEST, "faultsim", "cfg", 3, 3)
+
+    def test_shard_knob_only_invalidates_faultsim(self):
+        base, sharded = BASE, SHARDED
+        assert base.stage_digest("faultsim") != sharded.stage_digest("faultsim")
+        for stage in ("assign", "excite", "minimize"):
+            assert base.stage_digest(stage) == sharded.stage_digest(stage)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="faultsim_shards"):
+            FlowConfig(faultsim_shards=0)
+
+
+# ------------------------------------------------------------ run_flow parity
+
+
+class TestRunFlowParity:
+    def test_sharded_run_flow_is_bit_identical(self, tmp_path):
+        baseline = run_flow("ex4", BASE)
+        for shards in (1, 2, 4):
+            cfg = BASE.replace(faultsim_shards=shards)
+            uncached = run_flow("ex4", cfg)
+            cached = run_flow("ex4", cfg,
+                              cache=ArtifactCache(tmp_path / f"c{shards}"))
+            assert flow_normalized(uncached) == flow_normalized(baseline)
+            assert flow_normalized(cached) == flow_normalized(baseline)
+
+    def test_shard_artifacts_feed_the_parent_merge(self, tmp_path):
+        """Precomputing every shard leaves the parent run nothing to
+        simulate: the merged result is identical and every shard is
+        served from the cache on a second call."""
+        cache = ArtifactCache(tmp_path / "cache")
+        cfg = BASE.replace(faultsim_shards=3)
+        payloads = []
+        for index in range(3):
+            payload, cached = run_faultsim_shard("ex4", cfg, cache=cache,
+                                                 shard_index=index)
+            assert not cached
+            payloads.append(payload)
+        fault_total = payloads[0]["data"]["total_faults"]
+        assert sum(p["data"]["shard_faults"] for p in payloads) == fault_total
+        for index in range(3):
+            payload, cached = run_faultsim_shard("ex4", cfg, cache=cache,
+                                                 shard_index=index)
+            assert cached
+            assert payload == payloads[index]
+        result = run_flow("ex4", cfg, cache=cache)
+        assert flow_normalized(result) == flow_normalized(run_flow("ex4", BASE))
+
+    def test_shard_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="fault_patterns"):
+            run_faultsim_shard("ex4", FlowConfig(faultsim_shards=2))
+        with pytest.raises(ValueError, match="shard_index"):
+            run_faultsim_shard("ex4", SHARDED, shard_index=3)
+
+
+# ----------------------------------------------------------- sweep expansion
+
+
+class TestSweepShardCells:
+    def test_no_cache_means_no_shard_cells(self):
+        sweep = Sweep(NAMES, structures=("PST",), config=SHARDED)
+        assert sweep.shard_cells(sweep.cells()) == []
+
+    def test_unsharded_or_no_faultsim_cells_are_ineligible(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        for config in (BASE, FlowConfig(faultsim_shards=3)):
+            sweep = Sweep(NAMES, structures=("PST",), config=config,
+                          cache=cache)
+            assert sweep.shard_cells(sweep.cells()) == []
+
+    def test_expansion_shape_and_labels(self, tmp_path):
+        sweep = Sweep(NAMES, structures=("PST",), config=SHARDED,
+                      cache=ArtifactCache(tmp_path / "cache"))
+        tasks = sweep.cells()
+        shard_tasks = sweep.shard_cells(tasks)
+        assert len(shard_tasks) == len(tasks) * SHARDED.faultsim_shards
+        parent_ids = {task["cell"] for task in tasks}
+        all_ids = parent_ids | {task["cell"] for task in shard_tasks}
+        assert len(all_ids) == len(tasks) + len(shard_tasks)
+        for task in shard_tasks:
+            assert task["kind"] == "faultsim-shard"
+            assert task["parent_cell"] in parent_ids
+            label = cell_label(task)
+            assert label.startswith(f"faultsim-shard:{task['name']}:PST:0:")
+            assert label.endswith(f"{task['shard_index']}/3")
+
+
+# -------------------------------------------------------- cross-backend parity
+
+
+class TestSweepShardParity:
+    def test_serial_sharded_matches_unsharded(self, serial_sweep, tmp_path):
+        result = Sweep(NAMES, structures=("PST",), config=SHARDED,
+                       cache=ArtifactCache(tmp_path / "cache")).run()
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+        executor = result.to_dict()["executor"]
+        assert executor["shards"] == {
+            "cells": 6, "parents": 2, "failed_parents": 0,
+            "workers": 1, "cells_requeued": 0,
+        }
+        shard_cells = [cell for cell in executor["cells"]
+                       if cell["kind"] == "faultsim-shard"]
+        assert len(shard_cells) == 6
+        assert {cell["parent_cell"] for cell in shard_cells} == {
+            cell["cell"] for cell in executor["cells"]
+            if cell["kind"] == "flow"
+        }
+
+    def test_pool_sharded_matches_unsharded(self, serial_sweep, tmp_path):
+        result = Sweep(NAMES, structures=("PST",), config=SHARDED, jobs=2,
+                       cache=ArtifactCache(tmp_path / "cache")).run()
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+        assert result.to_dict()["executor"]["shards"]["cells"] == 6
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_queue_sharded_matches_unsharded(self, serial_sweep, tmp_path,
+                                             workers):
+        queue_dir = tmp_path / "queue"
+        box: dict = {}
+        threads = [start_queue_worker(queue_dir, f"w{i}", box)
+                   for i in range(workers)]
+        result = Sweep(
+            NAMES, structures=("PST",), config=SHARDED,
+            cache=ArtifactCache(tmp_path / "cache"),
+            backend=QueueExecutor(queue_dir, lease_timeout=20, timeout=120),
+        ).run()
+        (queue_dir / "stop").touch()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+        executor = result.to_dict()["executor"]
+        assert executor["shards"]["cells"] == 6
+        assert sum(stats.shard_cells for stats in box.values()) == 6
+        report = fsck_queue(queue_dir, lease_timeout=60.0)
+        assert report.clean, [i.to_dict() for i in report.issues]
+
+    def test_http_sharded_matches_unsharded(self, serial_sweep, tmp_path):
+        box: dict = {}
+        with CoordinatorHandle(port=0, cache_dir=tmp_path / "coord") as handle:
+            url = handle.url
+            threads = [start_http_worker(url, f"w{i}", box, drain=False)
+                       for i in range(2)]
+            result = Sweep(
+                NAMES, structures=("PST",), config=SHARDED,
+                cache=ArtifactCache(tmp_path / "cache"),
+                backend="http", coordinator_url=url, queue_timeout=120,
+            ).run()
+            from repro.flow.net.protocol import request_with_retry
+            request_with_retry(f"{url}/api/v1/stop", "POST", tries=3)
+            for thread in threads:
+                thread.join(timeout=30)
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+        executor = result.to_dict()["executor"]
+        assert executor["shards"]["cells"] == 6
+        assert sum(stats.shard_cells for stats in box.values()) == 6
+
+    def test_second_run_serves_every_shard_from_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        Sweep(NAMES, structures=("PST",), config=SHARDED, cache=cache).run()
+        warm = Sweep(NAMES, structures=("PST",), config=SHARDED,
+                     cache=cache).run()
+        assert warm.all_cached
+        shard_cells = [cell for cell in warm.to_dict()["executor"]["cells"]
+                       if cell["kind"] == "faultsim-shard"]
+        assert len(shard_cells) == 6
+        assert all(cell["cached"] for cell in shard_cells)
+        assert warm.cache_stats["writes"] == 0
+
+
+# ------------------------------------------------------------- failure model
+
+
+class TestShardFailureModel:
+    def test_chaos_kill_of_one_shard_worker_recovers(self, serial_sweep,
+                                                     tmp_path):
+        """A worker killed mid-shard (``os._exit``, no unwind) loses its
+        lease; only that shard is requeued — its siblings' artifacts
+        survive — and the merge is still bit-identical to serial."""
+        queue_dir = tmp_path / "queue"
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(seed=5, rules=(
+            FaultRule(kind="worker-crash",
+                      match="faultsim-shard:dk512:PST:0:1/3", attempts=(1,)),
+        )).save(plan_path)
+        env = dict(os.environ, REPRO_CHAOS=str(plan_path))
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker", str(queue_dir),
+                 "--worker-id", f"sub{i}", "--poll-interval", "0.02",
+                 "--lease-timeout", "1.0", "--max-idle", "60", "--quiet"],
+                env=env,
+            )
+            for i in range(2)
+        ]
+        try:
+            result = Sweep(
+                NAMES, structures=("PST",), config=SHARDED,
+                cache=ArtifactCache(tmp_path / "cache"),
+                backend=QueueExecutor(queue_dir, lease_timeout=1.0,
+                                      poll_interval=0.02, timeout=120),
+                retry_backoff=0.01,
+            ).run()
+        finally:
+            ensure_queue_dirs(queue_dir)
+            (queue_dir / "stop").touch()
+            codes = [proc.wait(timeout=30) for proc in procs]
+        assert 17 in codes, f"no worker crashed (exit codes {codes})"
+        assert result.status == "complete"
+        assert normalized(result.to_dict()) == normalized(serial_sweep.to_dict())
+        assert result.to_dict()["executor"]["cells_requeued"] >= 1
+
+    def test_poisoned_shard_fails_only_its_parent(self, tmp_path):
+        """strict=False: a shard that errors on every attempt degrades the
+        sweep to a partial result — the parent cell lands in
+        ``failed_cells`` with the shard's error history, its sibling cells
+        deliver untouched."""
+        set_active_plan(FaultPlan(seed=1, rules=(
+            FaultRule(kind="stage-error",
+                      match="faultsim-shard:dk512:PST:0:0/3",
+                      stage="faultsim", attempts=()),
+        )))
+        result = Sweep(NAMES, structures=("PST",), config=SHARDED,
+                       cache=ArtifactCache(tmp_path / "cache"),
+                       strict=False).run()
+        assert result.status == "partial"
+        assert len(result.failed_cells) == 1
+        failed = result.failed_cells[0]
+        assert (failed["fsm"], failed["structure"]) == ("dk512", "PST")
+        assert failed["kind"] == "flow"
+        assert failed["failed_shards"] == [0]
+        assert failed["errors"][0]["type"] == "ChaosStageError"
+        assert {r.fsm for r in result.results} == {"ex4"}
+        assert result.to_dict()["executor"]["shards"]["failed_parents"] == 1
+
+    def test_strict_mode_raises_with_shard_coordinates(self, tmp_path):
+        set_active_plan(FaultPlan(seed=1, rules=(
+            FaultRule(kind="stage-error",
+                      match="faultsim-shard:dk512:PST:0:2/3",
+                      stage="faultsim", attempts=()),
+        )))
+        with pytest.raises(RuntimeError, match=r"faultsim shard 2/3"):
+            Sweep(["dk512"], structures=("PST",), config=SHARDED,
+                  cache=ArtifactCache(tmp_path / "cache")).run()
+
+
+# ------------------------------------------------------------- observability
+
+
+class TestShardObservability:
+    def test_worker_stats_roundtrip_shard_cells(self):
+        stats = WorkerStats("w0", cells=4, shard_cells=3)
+        assert stats.to_dict()["shard_cells"] == 3
+        assert WorkerStats.from_dict(stats.to_dict()).shard_cells == 3
+        # Pre-sharding worker payloads lack the counter: reads as 0.
+        legacy = dict(stats.to_dict())
+        legacy.pop("shard_cells")
+        assert WorkerStats.from_dict(legacy).shard_cells == 0
+
+    def test_coordinator_stats_count_shard_cells(self):
+        coord = Coordinator(clock=lambda: 0.0, lease_timeout=5.0)
+        status, _ = coord._handle_submit({
+            "schema": NET_SCHEMA,
+            "run": "r",
+            "tasks": [
+                {"cell": "a", "kind": "flow", "name": "m"},
+                {"cell": "b", "kind": "faultsim-shard", "name": "m",
+                 "shard_index": 0, "shard_count": 2, "parent_cell": "a"},
+            ],
+            "retry": RetryPolicy(max_attempts=1).to_dict(),
+            "lease_timeout": 5.0,
+        })
+        assert status == 200
+        _, stats = coord._handle_stats()
+        assert stats["cells"]["pending"] == 2
+        assert stats["shard_cells"]["pending"] == 1
+
+    def test_sweep_tables_show_shard_provenance(self, tmp_path):
+        sharded = Sweep(NAMES, structures=("PST",), config=SHARDED,
+                        cache=ArtifactCache(tmp_path / "cache")).run()
+        data = sharded.to_dict()
+        rows = sweep_cell_rows(data)
+        assert all(row["shards"] == "3/1w" for row in rows)
+        executor_rows = sweep_executor_rows(data)
+        shard_row = [row for row in executor_rows
+                     if row[0] == "faultsim shards"]
+        assert shard_row == [
+            ["faultsim shards", "6 shard cell(s) over 2 parent cell(s), 0 failed"]
+        ]
+
+    def test_unsharded_sweep_has_no_shards_column(self, serial_sweep):
+        rows = sweep_cell_rows(serial_sweep.to_dict())
+        assert all("shards" not in row for row in rows)
+
+    def test_cli_flag_reaches_config(self):
+        from repro.cli import build_parser
+        from repro.flow import config_from_args
+
+        args = build_parser().parse_args(
+            ["sweep", "--machines", "dk512", "--faultsim-shards", "4",
+             "--fault-patterns", "32"]
+        )
+        config = config_from_args(args)
+        assert config.faultsim_shards == 4
+        assert config.fault_patterns == 32
+
+
+# --------------------------------------------------------------------- fsck
+
+
+class TestFsckShardGroups:
+    RUN = "aaaa1111"
+
+    def _shard_result(self, paths, cid: str, index: int, count: int,
+                      parent: str) -> Path:
+        path = paths.results / f"{cid}.json"
+        write_json_atomic(path, sign_payload({
+            "cell": cid,
+            "outcome": {
+                "kind": "faultsim-shard", "cell": cid, "worker": "w0",
+                "result": {"shard_index": index, "shard_count": count,
+                           "parent_cell": parent, "cached": False,
+                           "metrics": {}},
+            },
+        }))
+        return path
+
+    def _shard_task(self, paths, cid: str, index: int, count: int,
+                    parent: str) -> Path:
+        path = paths.tasks / f"{cid}.json"
+        write_json_atomic(path, sign_payload({
+            "cell": cid,
+            "task": {"kind": "faultsim-shard", "cell": cid,
+                     "shard_index": index, "shard_count": count,
+                     "parent_cell": parent},
+        }))
+        return path
+
+    def test_complete_group_is_a_healthy_note(self, tmp_path):
+        paths = ensure_queue_dirs(tmp_path / "queue")
+        for index in range(2):
+            self._shard_result(paths, f"{self.RUN}-s{index}", index, 2, "p0")
+        report = fsck_queue(tmp_path / "queue", lease_timeout=30.0)
+        assert report.clean, [i.to_dict() for i in report.issues]
+        assert any("all 2 shard result(s) present" in note
+                   for note in report.notes)
+
+    def test_in_flight_group_is_a_healthy_note(self, tmp_path):
+        paths = ensure_queue_dirs(tmp_path / "queue")
+        self._shard_result(paths, f"{self.RUN}-s0", 0, 2, "p0")
+        self._shard_task(paths, f"{self.RUN}-s1", 1, 2, "p0")
+        report = fsck_queue(tmp_path / "queue", lease_timeout=30.0)
+        assert report.clean, [i.to_dict() for i in report.issues]
+        assert any("still in flight" in note for note in report.notes)
+
+    def test_orphaned_shard_is_found_and_repaired(self, tmp_path):
+        """A shard result whose siblings are gone (run aborted, nothing
+        pending) can never merge: flagged, and reclaimed under
+        ``--repair`` — the detection data lives in the artifact cache."""
+        paths = ensure_queue_dirs(tmp_path / "queue")
+        orphan = self._shard_result(paths, f"{self.RUN}-s0", 0, 3, "p0")
+        report = fsck_queue(tmp_path / "queue", lease_timeout=30.0)
+        assert not report.clean
+        assert [issue.kind for issue in report.issues] == ["orphaned-shard"]
+        assert "1/3 sibling result(s)" in report.issues[0].detail
+        repaired = fsck_queue(tmp_path / "queue", repair=True,
+                              lease_timeout=30.0)
+        assert repaired.issues[0].repair == "deleted"
+        assert not orphan.exists()
+        again = fsck_queue(tmp_path / "queue", lease_timeout=30.0)
+        assert again.clean
