@@ -64,6 +64,12 @@ class SynthesisOptions:
         multi_start: independent MISR-assignment searches; the best wins.
         jobs: worker processes for the multi-start fan-out (the winner is
             deterministic, so the result never depends on ``jobs``).
+        max_polynomials: primitive feedback polynomials examined per width
+            during the MISR assignment (the polynomial-ablation axis).
+        input_weight: weight of the input (face) incompatibility term of the
+            assignment cost function.
+        output_weight: weight of the output (excitation) incompatibility
+            term of the assignment cost function.
     """
 
     width: Optional[int] = None
@@ -77,6 +83,9 @@ class SynthesisOptions:
     assignment_engine: str = "incremental"
     multi_start: int = 1
     jobs: int = 1
+    max_polynomials: int = 16
+    input_weight: int = 2
+    output_weight: int = 1
 
 
 @dataclass(frozen=True)
@@ -214,6 +223,9 @@ def assign_states(
             partitions_per_column=opts.partitions_per_column,
             seed=opts.seed,
             implicants=implicants,
+            max_polynomials=opts.max_polynomials,
+            input_weight=opts.input_weight,
+            output_weight=opts.output_weight,
             engine=opts.assignment_engine,
             multi_start=opts.multi_start,
             jobs=opts.jobs,

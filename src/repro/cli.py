@@ -40,6 +40,17 @@ the content-addressed artifact cache so re-runs skip unchanged stages.
   artifacts,
 * ``repro cache stats|clear|gc`` — inspect, empty or size-bound an artifact
   cache directory (LRU eviction by last use),
+* ``repro corpus list|show|gen|ingest`` — the parameterized FSM corpus:
+  enumerate generator families, resolve a ``corpus:<generator>:<k=v,...>``
+  spec to its digest-addressed entry, write the generated machine as KISS2,
+  or ingest a directory of ``.kiss`` files as named corpus entries (corpus
+  specs are accepted anywhere a machine name is, including ``sweep``),
+* ``repro fuzz --cases 50 --seed 0`` — randomized cross-engine invariant
+  harness over generated corpus machines (compiled==legacy detections,
+  incremental==reference scores, sharded==unsharded merges, KISS2
+  round-trip digests, warm==cold cache); failures are minimized and
+  emitted as ``repro.fuzz/1`` JSON, and ``repro fuzz --repro case.json``
+  deterministically replays one,
 * ``repro lint`` — run the AST invariant linter (determinism, digest
   completeness, serialization round-trip, atomic writes, set-iteration
   order, silently swallowed exceptions) over the source tree; nonzero
@@ -260,6 +271,44 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the repro.lint/1 report as JSON")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the engine pairs over random corpus FSMs",
+    )
+    fuzz.add_argument("--cases", type=int, default=50,
+                      help="number of seeded random cases to run")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="seed deriving the whole case list")
+    fuzz.add_argument("--mutate", default=None, metavar="NAME",
+                      help="deliberately break one comparison side (CI "
+                           "mutation smoke; see --list-mutations)")
+    fuzz.add_argument("--list-mutations", action="store_true",
+                      help="list the available mutations and exit")
+    fuzz.add_argument("--repro", type=Path, default=None, metavar="CASE_JSON",
+                      help="replay one serialized fuzz case (or failure "
+                           "entry) instead of running new cases")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip greedy shrinking of failing cases")
+    fuzz.add_argument("--out", type=Path, default=None,
+                      help="write the repro.fuzz/1 JSON report to this file")
+    fuzz.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the repro.fuzz/1 report as JSON on stdout")
+
+    corpus = sub.add_parser(
+        "corpus", help="inspect, generate or ingest corpus machines"
+    )
+    corpus.add_argument("action", choices=["list", "show", "gen", "ingest"],
+                        help="list generators / describe one spec / write one "
+                             "machine as KISS2 / ingest a directory of "
+                             ".kiss files")
+    corpus.add_argument("target", nargs="?", default=None,
+                        help="corpus spec (show/gen) or directory (ingest)")
+    corpus.add_argument("--out", type=Path, default=None,
+                        help="gen: write the KISS2 text to this file "
+                             "(default: stdout)")
+    corpus.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+
     validate = sub.add_parser("validate", help="validate a KISS2 description")
     validate.add_argument("kiss_file", type=Path)
     validate.add_argument("--json", action="store_true", dest="as_json",
@@ -294,6 +343,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "version":
@@ -445,6 +498,24 @@ def _split_csv(raw: str) -> List[str]:
     return [item.strip() for item in raw.split(",") if item.strip()]
 
 
+def _split_machines(raw: str) -> List[str]:
+    """Split a machine list on commas, keeping ``corpus:`` specs intact.
+
+    Corpus specs carry their parameters as ``k=v`` pairs separated by commas
+    (``corpus:chain:states=40,seed=3``), so a naive CSV split would shear
+    them apart.  A fragment containing ``=`` but no ``corpus:`` prefix is a
+    continuation of the preceding spec and is glued back on; benchmark names
+    and file paths never contain ``=``.
+    """
+    machines: List[str] = []
+    for fragment in _split_csv(raw):
+        if machines and "=" in fragment and not fragment.startswith("corpus:"):
+            machines[-1] = f"{machines[-1]},{fragment}"
+        else:
+            machines.append(fragment)
+    return machines
+
+
 def _cmd_benchmarks(args: argparse.Namespace) -> int:
     if args.names.strip().lower() == "all":
         names: List[str] = benchmark_names()
@@ -496,7 +567,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.machines.strip().lower() == "all":
         names: List[str] = benchmark_names()
     else:
-        names = _split_csv(args.machines)
+        names = _split_machines(args.machines)
     structures = _split_csv(args.structures)
     seeds = [int(s) for s in _split_csv(args.seeds)]
 
@@ -696,6 +767,116 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .corpus import MUTATIONS, replay_case, run_fuzz
+    from .reporting import fuzz_failure_rows, fuzz_summary_rows
+
+    if args.list_mutations:
+        for name, description in MUTATIONS.items():
+            print(f"{name}: {description}")
+        return 0
+
+    if args.repro is not None:
+        data = json.loads(args.repro.read_text())
+        outcome = replay_case(data, mutation=args.mutate)
+        if args.as_json:
+            print(json.dumps(outcome, indent=2))
+        else:
+            case = outcome["case"]
+            print(f"replayed case {case['case_id']}: {case['spec']}")
+            print(f"invariants: {', '.join(case['invariants'])}")
+            print(f"status: {outcome['status']} ({outcome['seconds']}s)")
+            for failure in outcome["failures"]:
+                print(f"  [{failure['invariant']}] {failure['detail']}")
+        return 0 if outcome["status"] == "pass" else 1
+
+    progress = None
+    if not args.as_json:
+        progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    try:
+        report = run_fuzz(
+            cases=args.cases,
+            seed=args.seed,
+            mutate=args.mutate,
+            minimize=not args.no_minimize,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    payload = report.to_dict()
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2))
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(["metric", "value"], fuzz_summary_rows(payload),
+                           title="Differential fuzzing"))
+        failures = fuzz_failure_rows(payload)
+        if failures:
+            print()
+            print(format_comparison(failures, title="Failures (minimized)"))
+        if args.out is not None:
+            print(f"\nwrote repro.fuzz/1 report to {args.out}")
+    return 0 if report.ok else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import GENERATORS, corpus_entry, corpus_fsm, ingest_kiss_dir
+    from .fsm import write_kiss
+
+    if args.action == "list":
+        rows = [
+            {
+                "generator": info.name,
+                "defaults": ",".join(f"{k}={v}" for k, v in info.defaults.items()),
+                "summary": info.summary,
+            }
+            for info in GENERATORS.values()
+        ]
+        if args.as_json:
+            print(json.dumps({"schema": "repro.corpus/1", "generators": rows}, indent=2))
+        else:
+            print(format_comparison(rows, title="Corpus generators"))
+        return 0
+
+    if args.target is None:
+        print(f"corpus {args.action} needs a target", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        entry = corpus_entry(args.target)
+        if args.as_json:
+            print(json.dumps({"schema": "repro.corpus/1", **entry.to_dict()}, indent=2))
+        else:
+            for key, value in entry.to_dict().items():
+                print(f"{key}: {value}")
+        return 0
+
+    if args.action == "gen":
+        machine = corpus_fsm(args.target)
+        text = write_kiss(machine)
+        if args.out is not None:
+            args.out.write_text(text)
+            if not args.as_json:
+                print(f"wrote {machine.name} ({machine.num_states} states) to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    entries = ingest_kiss_dir(args.target)
+    rows = [entry.to_dict() for entry in entries]
+    if args.as_json:
+        print(json.dumps({"schema": "repro.corpus/1", "entries": rows}, indent=2))
+    else:
+        print(format_comparison(
+            [{k: (v[:16] if k == "digest" else v) for k, v in row.items()}
+             for row in rows],
+            title=f"Ingested corpus ({len(rows)} machines)",
+        ))
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:

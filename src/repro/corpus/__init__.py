@@ -1,0 +1,65 @@
+"""FSM corpus + differential-fuzzing subsystem.
+
+Three pieces:
+
+* :mod:`repro.corpus.generators` — scalable parameterized FSM generators
+  (hundreds to thousands of states, controlled topology / density /
+  output-don't-care knobs),
+* :mod:`repro.corpus.registry` — the ``corpus:`` machine spec usable
+  anywhere a machine name is accepted, plus the KISS2 directory ingester,
+* :mod:`repro.corpus.fuzz` — the differential-fuzzing harness behind
+  ``repro fuzz``: random corpus machines driven through
+  synthesize→faultsim with cross-engine invariants checked on every case.
+"""
+
+from .fuzz import (
+    FUZZ_SCHEMA_VERSION,
+    FuzzCase,
+    FuzzReport,
+    MUTATIONS,
+    make_cases,
+    run_fuzz,
+    replay_case,
+)
+from .generators import (
+    GENERATORS,
+    GeneratorInfo,
+    generate_corpus_fsm,
+    generator_info,
+    generator_names,
+    resolve_parameters,
+)
+from .registry import (
+    CORPUS_PREFIX,
+    CorpusEntry,
+    canonical_spec,
+    corpus_entry,
+    corpus_fsm,
+    ingest_kiss_dir,
+    is_corpus_spec,
+    parse_corpus_spec,
+)
+
+__all__ = [
+    "FUZZ_SCHEMA_VERSION",
+    "FuzzCase",
+    "FuzzReport",
+    "MUTATIONS",
+    "make_cases",
+    "run_fuzz",
+    "replay_case",
+    "GENERATORS",
+    "GeneratorInfo",
+    "generate_corpus_fsm",
+    "generator_info",
+    "generator_names",
+    "resolve_parameters",
+    "CORPUS_PREFIX",
+    "CorpusEntry",
+    "canonical_spec",
+    "corpus_entry",
+    "corpus_fsm",
+    "ingest_kiss_dir",
+    "is_corpus_spec",
+    "parse_corpus_spec",
+]

@@ -1,0 +1,344 @@
+"""Scalable parameterized FSM generators for the differential-fuzzing corpus.
+
+``fsm/generators.py`` targets the MCNC stand-in scale (tens of states); the
+corpus generators here produce machines in the hundreds-to-thousands of
+states with controlled knobs:
+
+* **topology** — four named families with different state-transition-graph
+  shapes: ``controller`` (branch-heavy decision states, the
+  :func:`~repro.fsm.generators.generate_controller` family at scale),
+  ``chain`` (long linear backbone with seeded skip edges), ``ring``
+  (enable-gated counter with periodic jump-backs) and ``tree`` (radix-``b``
+  dispatch hierarchy whose leaves return to the root),
+* **density** — transitions per state (``density`` / ``skip`` /
+  ``jump_every`` / ``branch`` depending on the family),
+* **output don't-cares** — ``output_dc``, the probability that an output
+  bit of a transition is left unspecified.
+
+Every generator is a pure function of its parameters and ``seed`` (one
+:class:`random.Random` instance, no global state), so the machines are
+digest-stable run to run — that stability is pinned by the seed-stability
+regression tests and is what lets corpus machines join the artifact-cache
+key path.
+
+All generated machines are deterministic, completely specified and strongly
+connected, matching the structural contract of the benchmark stand-ins that
+the synthesis heuristics assume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..fsm.generators import generate_controller
+from ..fsm.machine import FSM, FSMError, Transition
+
+__all__ = [
+    "GeneratorInfo",
+    "GENERATORS",
+    "generator_names",
+    "generator_info",
+    "generate_corpus_fsm",
+]
+
+
+def _output(num_outputs: int, rng: random.Random, dc_probability: float) -> str:
+    return "".join(
+        "-" if rng.random() < dc_probability else rng.choice("01")
+        for _ in range(num_outputs)
+    )
+
+
+def _cube(num_inputs: int, fixed: Mapping[int, str]) -> str:
+    return "".join(fixed.get(i, "-") for i in range(num_inputs))
+
+
+# ------------------------------------------------------------- the families
+
+
+def _controller(
+    name: str,
+    seed: int,
+    states: int,
+    inputs: int,
+    outputs: int,
+    density: float,
+    decision_bits: int,
+    output_dc: float,
+) -> FSM:
+    """Branch-heavy controller topology at corpus scale."""
+    if states < 1:
+        raise FSMError("controller corpus generator needs states >= 1")
+    if density <= 0:
+        raise FSMError("controller corpus generator needs density > 0")
+    return generate_controller(
+        name,
+        num_states=states,
+        num_inputs=inputs,
+        num_outputs=outputs,
+        num_transitions=max(states, int(density * states)),
+        seed=seed,
+        decision_bits_per_state=min(decision_bits, max(1, inputs)),
+        output_dc_probability=output_dc,
+    )
+
+
+def _chain(
+    name: str,
+    seed: int,
+    states: int,
+    inputs: int,
+    outputs: int,
+    skip: int,
+    output_dc: float,
+) -> FSM:
+    """Long linear backbone; the branch input either restarts or skip-jumps.
+
+    Each state tests only input bit 0: ``0`` steps along the backbone,
+    ``1`` returns to the reset state except every ``skip``-th state, whose
+    branch edge jumps to a seeded random state.  Two transitions per state,
+    so thousand-state chains stay cheap to synthesise.
+    """
+    if states < 1:
+        raise FSMError("chain corpus generator needs states >= 1")
+    if inputs < 1:
+        raise FSMError("chain corpus generator needs inputs >= 1")
+    if skip < 1:
+        raise FSMError("chain corpus generator needs skip >= 1")
+    rng = random.Random(seed)
+    state_names = [f"s{i}" for i in range(states)]
+    step_cube = _cube(inputs, {0: "0"})
+    branch_cube = _cube(inputs, {0: "1"})
+    transitions: List[Transition] = []
+    for i, state in enumerate(state_names):
+        transitions.append(
+            Transition(step_cube, state, state_names[(i + 1) % states],
+                       _output(outputs, rng, output_dc))
+        )
+        if (i + 1) % skip == 0:
+            target = state_names[rng.randrange(states)]
+        else:
+            target = state_names[0]
+        transitions.append(
+            Transition(branch_cube, state, target, _output(outputs, rng, output_dc))
+        )
+    return FSM(name, inputs, outputs, transitions,
+               reset_state=state_names[0], states=state_names)
+
+
+def _ring(
+    name: str,
+    seed: int,
+    states: int,
+    outputs: int,
+    jump_every: int,
+    output_dc: float,
+) -> FSM:
+    """Enable-gated counter; every ``jump_every``-th state's hold edge jumps back."""
+    if states < 1:
+        raise FSMError("ring corpus generator needs states >= 1")
+    if jump_every < 1:
+        raise FSMError("ring corpus generator needs jump_every >= 1")
+    rng = random.Random(seed)
+    state_names = [f"c{i}" for i in range(states)]
+    transitions: List[Transition] = []
+    for i, state in enumerate(state_names):
+        transitions.append(
+            Transition("1", state, state_names[(i + 1) % states],
+                       _output(outputs, rng, output_dc))
+        )
+        if (i + 1) % jump_every == 0 and i > 0:
+            hold_target = state_names[rng.randrange(i)]
+        else:
+            hold_target = state
+        transitions.append(
+            Transition("0", state, hold_target, _output(outputs, rng, output_dc))
+        )
+    return FSM(name, 1, outputs, transitions,
+               reset_state=state_names[0], states=state_names)
+
+
+def _tree(
+    name: str,
+    seed: int,
+    states: int,
+    branch: int,
+    inputs: int,
+    outputs: int,
+    output_dc: float,
+) -> FSM:
+    """Radix-``branch`` dispatch hierarchy (heap indexing); leaves return to root.
+
+    State ``i`` dispatches on the first ``log2(branch)`` input bits; its
+    ``b``-th child is state ``branch*i + b + 1`` when that index exists,
+    otherwise the edge returns to the root — which keeps the STG strongly
+    connected at every state count, not only complete trees.
+    """
+    if states < 1:
+        raise FSMError("tree corpus generator needs states >= 1")
+    if branch < 2 or branch & (branch - 1):
+        raise FSMError("tree corpus generator needs branch to be a power of two >= 2")
+    dispatch_bits = branch.bit_length() - 1
+    if inputs < dispatch_bits:
+        raise FSMError(
+            f"tree corpus generator needs inputs >= log2(branch) = {dispatch_bits}"
+        )
+    rng = random.Random(seed)
+    state_names = [f"n{i}" for i in range(states)]
+    transitions: List[Transition] = []
+    for i, state in enumerate(state_names):
+        for b in range(branch):
+            pattern = format(b, f"0{dispatch_bits}b")
+            cube = _cube(inputs, dict(enumerate(pattern)))
+            child = branch * i + b + 1
+            nxt = state_names[child] if child < states else state_names[0]
+            transitions.append(
+                Transition(cube, state, nxt, _output(outputs, rng, output_dc))
+            )
+    return FSM(name, inputs, outputs, transitions,
+               reset_state=state_names[0], states=state_names)
+
+
+# --------------------------------------------------------------- the registry
+
+
+@dataclass(frozen=True)
+class GeneratorInfo:
+    """One named corpus generator: its callable, defaults and a summary."""
+
+    name: str
+    func: Callable[..., FSM]
+    defaults: Mapping[str, Any]
+    summary: str
+
+
+GENERATORS: Dict[str, GeneratorInfo] = {
+    info.name: info
+    for info in [
+        GeneratorInfo(
+            "controller",
+            _controller,
+            {"states": 200, "inputs": 6, "outputs": 4, "density": 3.0,
+             "decision_bits": 4, "output_dc": 0.25},
+            "branch-heavy decision-state controller at corpus scale",
+        ),
+        GeneratorInfo(
+            "chain",
+            _chain,
+            {"states": 400, "inputs": 2, "outputs": 2, "skip": 8,
+             "output_dc": 0.2},
+            "long linear backbone with seeded skip edges (2 transitions/state)",
+        ),
+        GeneratorInfo(
+            "ring",
+            _ring,
+            {"states": 256, "outputs": 3, "jump_every": 32, "output_dc": 0.1},
+            "enable-gated counter with periodic seeded jump-backs",
+        ),
+        GeneratorInfo(
+            "tree",
+            _tree,
+            {"states": 255, "branch": 2, "inputs": 3, "outputs": 4,
+             "output_dc": 0.25},
+            "radix-b dispatch hierarchy whose missing children return to the root",
+        ),
+    ]
+}
+
+
+def generator_names() -> List[str]:
+    """Names of the registered corpus generators, in registration order."""
+    return list(GENERATORS)
+
+
+def generator_info(name: str) -> GeneratorInfo:
+    """Look up one generator; unknown names raise with the known set listed."""
+    try:
+        return GENERATORS[name]
+    except KeyError:
+        raise FSMError(
+            f"unknown corpus generator {name!r}; known: {', '.join(GENERATORS)}"
+        ) from None
+
+
+def _coerce(generator: str, key: str, value: Any, default: Any) -> Any:
+    """Coerce a (possibly string) parameter value to the default's type."""
+    if isinstance(value, str):
+        try:
+            if isinstance(default, bool):
+                if value.lower() in ("1", "true", "yes"):
+                    return True
+                if value.lower() in ("0", "false", "no"):
+                    return False
+                raise ValueError(value)
+            if isinstance(default, int):
+                return int(value)
+            if isinstance(default, float):
+                return float(value)
+            return value
+        except ValueError:
+            raise FSMError(
+                f"corpus generator {generator!r}: parameter {key}={value!r} is not "
+                f"a valid {type(default).__name__}"
+            ) from None
+    if isinstance(default, bool) is not isinstance(value, bool):
+        raise FSMError(
+            f"corpus generator {generator!r}: parameter {key}={value!r} must be "
+            f"a {type(default).__name__}"
+        )
+    if isinstance(default, float) and isinstance(value, int):
+        return float(value)
+    if not isinstance(value, type(default)):
+        raise FSMError(
+            f"corpus generator {generator!r}: parameter {key}={value!r} must be "
+            f"a {type(default).__name__}"
+        )
+    return value
+
+
+def resolve_parameters(
+    generator: str, params: Mapping[str, Any], seed: int = 0
+) -> Tuple[GeneratorInfo, Dict[str, Any]]:
+    """Validate and coerce ``params`` against a generator's schema.
+
+    Returns the generator info plus the full parameter map (defaults filled
+    in, ``seed`` included).  Unknown parameter names raise with the known
+    names listed — a fuzz-harness typo must fail loudly, not silently fall
+    back to a default machine.
+    """
+    info = generator_info(generator)
+    resolved: Dict[str, Any] = dict(info.defaults)
+    for key, value in params.items():
+        if key == "seed":
+            resolved["seed"] = _coerce(generator, key, value, 0)
+            continue
+        if key not in info.defaults:
+            raise FSMError(
+                f"corpus generator {generator!r} has no parameter {key!r}; "
+                f"known: seed, {', '.join(info.defaults)}"
+            )
+        resolved[key] = _coerce(generator, key, value, info.defaults[key])
+    resolved.setdefault("seed", seed)
+    return info, resolved
+
+
+def generate_corpus_fsm(
+    generator: str,
+    params: Optional[Mapping[str, Any]] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> FSM:
+    """Generate one corpus machine from ``(generator, params, seed)``.
+
+    The machine's name defaults to the canonical corpus spec (see
+    :mod:`repro.corpus.registry`), so the name — and therefore the content
+    digest keying the artifact cache — is a pure function of the request.
+    """
+    info, resolved = resolve_parameters(generator, params or {}, seed=seed)
+    if name is None:
+        from .registry import canonical_spec
+
+        name = canonical_spec(generator, resolved)
+    return info.func(name, **resolved)

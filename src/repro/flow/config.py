@@ -60,6 +60,9 @@ _ASSIGN_KEYS = (
     "seed",
     "assignment_engine",
     "multi_start",
+    "max_polynomials",
+    "input_weight",
+    "output_weight",
 )
 _EXCITE_KEYS = _ASSIGN_KEYS
 _MINIMIZE_KEYS = _EXCITE_KEYS + (
@@ -119,6 +122,9 @@ class FlowConfig:
     assignment_engine: str = "incremental"
     multi_start: int = 1
     jobs: int = 1
+    max_polynomials: int = 16
+    input_weight: int = 2
+    output_weight: int = 1
     engine: str = "compiled"
     word_width: int = 256
     fault_patterns: Optional[int] = None
@@ -144,6 +150,10 @@ class FlowConfig:
             raise ValueError("multi_start must be >= 1")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.max_polynomials < 1:
+            raise ValueError("max_polynomials must be >= 1")
+        if self.input_weight < 0 or self.output_weight < 0:
+            raise ValueError("input_weight and output_weight must be >= 0")
         if self.word_width < 1:
             raise ValueError("word_width must be >= 1")
         if self.fault_patterns is not None and self.fault_patterns < 0:
@@ -174,6 +184,9 @@ class FlowConfig:
             assignment_engine=self.assignment_engine,
             multi_start=self.multi_start,
             jobs=self.jobs,
+            max_polynomials=self.max_polynomials,
+            input_weight=self.input_weight,
+            output_weight=self.output_weight,
         )
 
     @classmethod
@@ -254,6 +267,15 @@ def add_flow_arguments(
                         help="scoring engine of the MISR state assignment")
     parser.add_argument("--multi-start", type=int, default=1,
                         help="independent state-assignment searches (best result wins)")
+    parser.add_argument("--max-polynomials", type=int, default=16,
+                        help="primitive feedback polynomials examined per register "
+                             "width (MISR/LFSR polynomial-ablation axis)")
+    parser.add_argument("--input-weight", type=int, default=2,
+                        help="weight of the input (face) incompatibility term of "
+                             "the MISR assignment cost")
+    parser.add_argument("--output-weight", type=int, default=1,
+                        help="weight of the output (excitation) incompatibility "
+                             "term of the MISR assignment cost")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (multi-start fan-out / fault-list "
                              "sharding / sweep cells)")

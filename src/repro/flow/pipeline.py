@@ -67,9 +67,10 @@ def fsm_digest(fsm: FSM) -> str:
 def resolve_fsm(source: FSMSource, data_dir: Optional[Union[str, Path]] = None) -> FSM:
     """Resolve a flow input to an :class:`FSM`.
 
-    Accepts a live FSM, a path to a ``.kiss2`` file, or the name of a
-    registered MCNC benchmark (``data_dir`` selects original files over the
-    synthetic stand-ins) — so sweeps address machines by plain strings.
+    Accepts a live FSM, a path to a ``.kiss2`` file, a ``corpus:`` machine
+    spec (see :mod:`repro.corpus.registry`), or the name of a registered
+    MCNC benchmark (``data_dir`` selects original files over the synthetic
+    stand-ins) — so sweeps address machines by plain strings.
 
     Registered benchmark names win over bare filesystem entries of the same
     name (a stray ``dk512`` file in the working directory must not shadow
@@ -80,6 +81,11 @@ def resolve_fsm(source: FSMSource, data_dir: Optional[Union[str, Path]] = None) 
         return source
     if isinstance(source, Path):
         return parse_kiss_file(source)
+    if source.startswith("corpus:"):
+        # Imported lazily: repro.corpus depends on this module for digests.
+        from ..corpus.registry import corpus_fsm
+
+        return corpus_fsm(source)
     path = Path(source)
     if path.suffix in (".kiss", ".kiss2"):
         return parse_kiss_file(path)

@@ -17,6 +17,16 @@ Every non-directive line describes one transition: input cube, present state,
 next state and output cube.  ``*`` as a next state means "unspecified".  The
 ``.p`` (number of transitions) and ``.s`` (number of states) directives are
 optional and, when present, are checked against the actual contents.
+
+KISS2 itself has no notion of state *order*, but this reproduction does: the
+assignment heuristics break ties by state index, so two machines with the
+same transitions but different declared orders synthesise differently and
+carry different content digests.  :func:`write_kiss` therefore records the
+declared order in a ``# .state_order`` comment line — invisible to standard
+KISS2 consumers (it is a comment) — and :func:`parse_kiss` re-imposes it
+when present.  This makes ``parse_kiss(write_kiss(fsm))`` digest-preserving
+for every machine, not only those whose declared order happens to match the
+first-appearance order of the transition list.
 """
 
 from __future__ import annotations
@@ -34,16 +44,36 @@ class KissFormatError(FSMError):
     """Raised when a KISS2 description cannot be parsed."""
 
 
+#: Comment marker carrying the declared state order through KISS2 text.
+_STATE_ORDER_MARKER = "# .state_order"
+
+
 def parse_kiss(text: str, name: str = "fsm") -> FSM:
-    """Parse a KISS2 description from a string and return an :class:`FSM`."""
+    """Parse a KISS2 description from a string and return an :class:`FSM`.
+
+    A full-line ``# .state_order s0 s1 ...`` comment (as written by
+    :func:`write_kiss`) re-imposes the declared state order; without one the
+    states are ordered by first appearance in the transition list, mirroring
+    the MCNC tools.
+    """
     num_inputs: Optional[int] = None
     num_outputs: Optional[int] = None
     declared_terms: Optional[int] = None
     declared_states: Optional[int] = None
     reset_state: Optional[str] = None
+    state_order: Optional[List[str]] = None
     transitions: List[Transition] = []
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith(_STATE_ORDER_MARKER):
+            order = stripped[len(_STATE_ORDER_MARKER):].split()
+            if not order:
+                raise KissFormatError(
+                    f"line {lineno}: {_STATE_ORDER_MARKER} names no states"
+                )
+            state_order = order
+            continue
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -81,7 +111,11 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
     if not transitions:
         raise KissFormatError("KISS2 description contains no transitions")
 
-    fsm = FSM(name, num_inputs, num_outputs, transitions, reset_state=reset_state)
+    try:
+        fsm = FSM(name, num_inputs, num_outputs, transitions,
+                  reset_state=reset_state, states=state_order)
+    except FSMError as exc:
+        raise KissFormatError(str(exc)) from exc
 
     if declared_terms is not None and declared_terms != len(transitions):
         raise KissFormatError(
@@ -101,13 +135,19 @@ def parse_kiss_file(path: Union[str, Path], name: Optional[str] = None) -> FSM:
 
 
 def write_kiss(fsm: FSM) -> str:
-    """Serialise an :class:`FSM` to KISS2 text."""
+    """Serialise an :class:`FSM` to KISS2 text.
+
+    The declared state order travels in a ``# .state_order`` comment so that
+    :func:`parse_kiss` round-trips it exactly (standard KISS2 consumers skip
+    the line as a comment).
+    """
     buf = io.StringIO()
     buf.write(f".i {fsm.num_inputs}\n")
     buf.write(f".o {fsm.num_outputs}\n")
     buf.write(f".p {len(fsm.transitions)}\n")
     buf.write(f".s {fsm.num_states}\n")
     buf.write(f".r {fsm.reset_state}\n")
+    buf.write(f"{_STATE_ORDER_MARKER} {' '.join(fsm.states)}\n")
     for t in fsm.transitions:
         buf.write(f"{t.inputs} {t.present} {t.next} {t.outputs}\n")
     buf.write(".e\n")

@@ -8,6 +8,8 @@ from .tables import (
     format_comparison,
     format_paper_vs_measured,
     format_table,
+    fuzz_failure_rows,
+    fuzz_summary_rows,
     structure_rows_from_results,
     sweep_cell_rows,
     sweep_executor_rows,
@@ -28,4 +30,6 @@ __all__ = [
     "sweep_table3_rows",
     "sweep_cell_rows",
     "sweep_executor_rows",
+    "fuzz_summary_rows",
+    "fuzz_failure_rows",
 ]

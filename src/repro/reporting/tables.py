@@ -28,6 +28,8 @@ __all__ = [
     "sweep_executor_rows",
     "cache_stats_rows",
     "cache_hit_rate",
+    "fuzz_summary_rows",
+    "fuzz_failure_rows",
 ]
 
 
@@ -369,4 +371,39 @@ def sweep_table3_rows(
             "paper PAT": getattr(paper, paper_columns[2]) if paper else "",
         }
         rows.append(row)
+    return rows
+
+
+def fuzz_summary_rows(report: Mapping[str, Any]) -> List[List[object]]:
+    """Headline rows of a serialized ``repro.fuzz/1`` report."""
+    rows: List[List[object]] = [
+        ["schema", report.get("schema", "")],
+        ["seed", report.get("seed", "")],
+        ["cases", report.get("cases", "")],
+        ["passed", report.get("passed", "")],
+        ["failed", report.get("failed", "")],
+        ["largest machine (states)", report.get("max_states", "")],
+        ["seconds", report.get("seconds", "")],
+    ]
+    mutation = report.get("mutation")
+    if mutation:
+        rows.insert(1, ["mutation", mutation])
+    for name, count in sorted(dict(report.get("invariant_counts", {})).items()):
+        rows.append([f"invariant {name}", f"checked on {count} case(s)"])
+    return rows
+
+
+def fuzz_failure_rows(report: Mapping[str, Any]) -> List[Dict[str, object]]:
+    """One row per fuzz failure: case, invariant, detail, minimized spec."""
+    rows: List[Dict[str, object]] = []
+    for entry in report.get("failures", []):
+        case = entry.get("case", {})
+        minimized = entry.get("minimized", {})
+        for failure in entry.get("failures", []):
+            rows.append({
+                "case": case.get("case_id", ""),
+                "invariant": failure.get("invariant", ""),
+                "detail": failure.get("detail", ""),
+                "minimized spec": minimized.get("spec", ""),
+            })
     return rows

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -168,3 +169,50 @@ class TestValidateCommand:
         exit_code = main(["validate", str(path)])
         assert exit_code == 1
         assert "ERRORS" in capsys.readouterr().out
+
+
+class TestCorpusAndFuzzCommands:
+    def test_split_machines_keeps_corpus_specs_intact(self):
+        from repro.cli import _split_machines
+
+        raw = "dk512,corpus:ring:states=32,seed=1,outputs=2,ex4,corpus:tree"
+        assert _split_machines(raw) == [
+            "dk512",
+            "corpus:ring:states=32,seed=1,outputs=2",
+            "ex4",
+            "corpus:tree",
+        ]
+        assert _split_machines("dk512,ex4") == ["dk512", "ex4"]
+
+    def test_corpus_list_and_show(self, capsys):
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "controller" in out and "ring" in out
+
+        assert main(["corpus", "show", "corpus:ring:states=8,seed=1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["states"] == 8
+        assert len(data["digest"]) == 64
+
+    def test_corpus_gen_writes_kiss(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.kiss2"
+        assert main(["corpus", "gen", "corpus:tree:states=7,seed=2",
+                     "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith(".i ")
+        assert main(["validate", str(out_path)]) == 0
+
+    def test_fuzz_list_mutations(self, capsys):
+        assert main(["fuzz", "--list-mutations"]) == 0
+        out = capsys.readouterr().out
+        assert "engine-legacy-drop" in out
+
+    def test_sweep_accepts_corpus_spec(self, capsys):
+        exit_code = main([
+            "sweep", "--machines", "corpus:ring:states=8,seed=1,jump_every=4",
+            "--structures", "PST", "--seeds", "0", "--json",
+        ])
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["machines"] == [
+            "corpus:ring:jump_every=4,output_dc=0.1,outputs=3,seed=1,states=8"
+        ]

@@ -1,0 +1,101 @@
+"""Golden-file regression tests pinning the full FlowResult JSON.
+
+Each seed benchmark has one golden file under ``tests/goldens/`` holding the
+complete serialized :class:`~repro.flow.FlowResult` of a pinned
+configuration (PST, quick minimiser, 32 fault patterns), with the
+wall-clock fields normalized to zero.  Any behavioural change anywhere in
+the pipeline — parsing, state assignment, excitation, minimisation, fault
+simulation, metric reporting — shows up as a golden diff, which makes
+accidental drift loud and intentional drift reviewable.
+
+To regenerate after an intentional change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens.py -q
+
+and commit the updated ``tests/goldens/*.json`` together with the change
+that caused them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+from repro.flow import FlowConfig, run_flow
+from repro.fsm.mcnc import benchmark_names
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: The pinned configuration of every golden run.  ``quick`` keeps the whole
+#: suite fast enough for tier-1 while still covering every stage; 32 fault
+#: patterns make the faultsim stage and coverage metrics part of the pin.
+GOLDEN_CONFIG = FlowConfig(
+    structure="PST",
+    fault_patterns=32,
+    minimize_method="quick",
+)
+
+REGEN_ENV = "REPRO_REGEN_GOLDENS"
+
+
+def _normalize(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Zero the wall-clock fields so goldens only pin behaviour.
+
+    ``seconds``/``total_seconds`` vary run to run and ``cached`` depends on
+    whether an artifact cache happens to be attached; everything else in a
+    FlowResult is deterministic.
+    """
+    data = json.loads(json.dumps(data))
+    data["total_seconds"] = 0.0
+    for stage in data["stages"]:
+        stage["seconds"] = 0.0
+        stage["cached"] = False
+    return data
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_flow_result_matches_golden(name: str) -> None:
+    result = _normalize(run_flow(name, GOLDEN_CONFIG).to_dict())
+    path = _golden_path(name)
+    if os.environ.get(REGEN_ENV):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden {path}; regenerate with {REGEN_ENV}=1 "
+        "PYTHONPATH=src python -m pytest tests/test_goldens.py -q"
+    )
+    golden = json.loads(path.read_text())
+    assert result == golden, (
+        f"FlowResult for {name!r} drifted from {path}; if the change is "
+        f"intentional, regenerate with {REGEN_ENV}=1 and commit the diff"
+    )
+
+
+def test_goldens_cover_every_benchmark() -> None:
+    """One golden per seed machine, no strays."""
+    if os.environ.get(REGEN_ENV):
+        pytest.skip("regenerating")
+    present = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+    assert present == sorted(benchmark_names())
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_golden_files_are_schema_valid(name: str) -> None:
+    """Goldens stay loadable: schema tag, config round-trip, zeroed clocks."""
+    if os.environ.get(REGEN_ENV):
+        pytest.skip("regenerating")
+    data = json.loads(_golden_path(name).read_text())
+    assert data["schema"] == "repro.flow-result/1"
+    assert data["fsm"] == name
+    assert FlowConfig.from_dict(data["config"]) == GOLDEN_CONFIG
+    assert data["total_seconds"] == 0.0
+    assert all(s["seconds"] == 0.0 and not s["cached"] for s in data["stages"])

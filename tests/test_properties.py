@@ -7,7 +7,8 @@ import math
 from hypothesis import given, settings, strategies as st
 
 from repro.encoding import StateEncoding, random_encoding
-from repro.fsm import generate_controller
+from repro.flow import fsm_digest
+from repro.fsm import generate_controller, generate_random_fsm, parse_kiss, write_kiss
 from repro.fsm.machine import _complement_cubes, _cubes_cover_everything, expand_cube
 from repro.lfsr import LFSR, MISR, is_primitive, primitive_polynomials
 from repro.logic import Cover, Cube, minimize
@@ -187,3 +188,96 @@ class TestEncodingProperties:
         states = {f"s{i}": format(i, f"0{width}b") for i in range(min(3, 1 << width))}
         encoding = StateEncoding(width, states)
         assert len(encoding.unused_codes()) == (1 << width) - len(states)
+
+
+# --------------------------------------------------------------------------
+# KISS2 serialisation round-trip
+# --------------------------------------------------------------------------
+
+
+class TestKissRoundTripProperties:
+    """``parse_kiss(write_kiss(fsm))`` is semantics- and digest-preserving.
+
+    The digest half is the load-bearing one: ``fsm_digest`` keys the
+    artifact cache and every sweep-cell payload, so a machine must survive
+    the KISS2 transport bit-exactly — including its declared state *order*,
+    which KISS2 itself does not express (it travels in the
+    ``# .state_order`` comment written by ``write_kiss``).
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_controller_roundtrip_preserves_digest(
+        self, num_states, num_inputs, num_outputs, seed
+    ):
+        fsm = generate_controller(
+            "prop", num_states, num_inputs, num_outputs, 3 * num_states, seed=seed
+        )
+        again = parse_kiss(write_kiss(fsm), name=fsm.name)
+        assert again.states == fsm.states
+        assert again.reset_state == fsm.reset_state
+        assert again.transitions == fsm.transitions
+        assert fsm_digest(again) == fsm_digest(fsm)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.3, max_value=1.0),
+    )
+    def test_random_fsm_roundtrip_preserves_digest(
+        self, num_states, num_inputs, num_outputs, seed, completeness
+    ):
+        # Incompletely specified machines exercise the "*" next state and
+        # don't-care output paths of the writer/parser pair.
+        fsm = generate_random_fsm(
+            "prop", num_states, num_inputs, num_outputs, seed=seed,
+            completeness=completeness,
+        )
+        again = parse_kiss(write_kiss(fsm), name=fsm.name)
+        assert again.states == fsm.states
+        assert again.transitions == fsm.transitions
+        assert fsm_digest(again) == fsm_digest(fsm)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_roundtrip_preserves_simulation_semantics(
+        self, num_states, num_inputs, seed
+    ):
+        import random as _random
+
+        fsm = generate_controller("prop", num_states, num_inputs, 2,
+                                  3 * num_states, seed=seed)
+        again = parse_kiss(write_kiss(fsm), name=fsm.name)
+        rng = _random.Random(seed)
+        vectors = [
+            "".join(rng.choice("01") for _ in range(num_inputs)) for _ in range(16)
+        ]
+        assert again.simulate(vectors) == fsm.simulate(vectors)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=3, max_value=14), st.integers(min_value=0, max_value=1000))
+    def test_shuffled_state_order_survives_transport(self, num_states, seed):
+        import random as _random
+
+        fsm = generate_controller("prop", num_states, 3, 2, 3 * num_states, seed=seed)
+        shuffled = list(fsm.states)
+        _random.Random(seed).shuffle(shuffled)
+        reordered = type(fsm)(
+            fsm.name, fsm.num_inputs, fsm.num_outputs, fsm.transitions,
+            reset_state=fsm.reset_state, states=shuffled,
+        )
+        again = parse_kiss(write_kiss(reordered), name=reordered.name)
+        assert again.states == tuple(shuffled)
+        assert fsm_digest(again) == fsm_digest(reordered)
